@@ -1,0 +1,53 @@
+//! One Criterion benchmark per paper table/figure: times the full
+//! regeneration of each artefact (trace synthesis + model fit + analysis).
+//!
+//! Heavy experiments (table5/table6 run a 2-D ∆cost optimization per week)
+//! use a reduced sample count so `cargo bench` completes in minutes; the
+//! `repro` binary remains the reference for full-size runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gridstrat_bench::experiments;
+use gridstrat_bench::DEFAULT_SEED;
+use gridstrat_core::cost::optimize_delayed_delta_cost;
+use gridstrat_core::latency::EmpiricalModel;
+use gridstrat_workload::WeekId;
+
+fn bench_fast_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro");
+    g.sample_size(10);
+    g.bench_function("figure1", |b| b.iter(|| black_box(experiments::figure1(DEFAULT_SEED))));
+    g.bench_function("table1", |b| b.iter(|| black_box(experiments::table1(DEFAULT_SEED))));
+    g.bench_function("figure2", |b| b.iter(|| black_box(experiments::figure2(DEFAULT_SEED))));
+    g.bench_function("table2", |b| b.iter(|| black_box(experiments::table2(DEFAULT_SEED))));
+    g.bench_function("figure4", |b| b.iter(|| black_box(experiments::figure4(DEFAULT_SEED))));
+    g.bench_function("figure5", |b| b.iter(|| black_box(experiments::figure5(DEFAULT_SEED))));
+    g.bench_function("table3", |b| b.iter(|| black_box(experiments::table3(DEFAULT_SEED))));
+    g.bench_function("figure6", |b| b.iter(|| black_box(experiments::figure6(DEFAULT_SEED))));
+    g.bench_function("figure7", |b| b.iter(|| black_box(experiments::figure7(DEFAULT_SEED))));
+    g.bench_function("table4", |b| b.iter(|| black_box(experiments::table4(DEFAULT_SEED))));
+    g.bench_function("figure8", |b| b.iter(|| black_box(experiments::figure8(DEFAULT_SEED))));
+    g.finish();
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro_medium");
+    g.sample_size(10);
+    g.bench_function("figure3", |b| b.iter(|| black_box(experiments::figure3(DEFAULT_SEED))));
+    g.finish();
+}
+
+/// table5/table6 cores, reduced to a single week so the bench measures the
+/// per-week ∆cost optimization without multiplying it by 12.
+fn bench_heavy_cores(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro_heavy_core");
+    g.sample_size(10);
+    let trace = WeekId::W2007_51.generate(DEFAULT_SEED);
+    let model = EmpiricalModel::from_trace(&trace).expect("valid trace");
+    g.bench_function("table5_one_week_delta_cost_opt", |b| {
+        b.iter(|| black_box(optimize_delayed_delta_cost(&model)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fast_experiments, bench_figure3, bench_heavy_cores);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Criterion benches for the numerical kernels behind the strategy models:
+//! ECDF construction and integral queries, the eq. 1–5 evaluations, and the
+//! optimizers. These are the operations a client-side scheduler would run
+//! online, so their costs matter beyond reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridstrat_bench::{model_for, DEFAULT_SEED};
+use gridstrat_core::latency::{EmpiricalModel, LatencyModel};
+use gridstrat_core::strategy::{DelayedResubmission, MultipleSubmission, SingleResubmission};
+use gridstrat_stats::Ecdf;
+use gridstrat_workload::WeekId;
+
+fn trace_samples(n: usize) -> Vec<f64> {
+    let model = WeekId::W2006Ix.model();
+    let trace = model.generate(n, 7);
+    trace.records.iter().map(|r| r.latency_s).collect()
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecdf");
+    for &n in &[1_000usize, 10_000] {
+        let samples = trace_samples(n);
+        g.bench_with_input(BenchmarkId::new("build", n), &samples, |b, s| {
+            b.iter(|| Ecdf::from_samples(black_box(s), 10_000.0).unwrap())
+        });
+        let e = Ecdf::from_samples(&samples, 10_000.0).unwrap();
+        g.bench_with_input(BenchmarkId::new("survival_integral", n), &e, |b, e| {
+            b.iter(|| black_box(e.survival_integral(black_box(700.0))))
+        });
+        g.bench_with_input(BenchmarkId::new("product_integrals", n), &e, |b, e| {
+            b.iter(|| black_box(e.survival_product_integrals(black_box(350.0), black_box(150.0))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_expectations(c: &mut Criterion) {
+    let model = model_for(WeekId::W2006Ix, DEFAULT_SEED);
+    let mut g = c.benchmark_group("expectation");
+    g.bench_function("single_eq1", |b| {
+        b.iter(|| black_box(SingleResubmission::expectation(&model, black_box(600.0))))
+    });
+    g.bench_function("single_eq2_sigma", |b| {
+        b.iter(|| black_box(SingleResubmission::std_dev(&model, black_box(600.0))))
+    });
+    for bb in [2u32, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("multiple_eq3", bb), &bb, |bch, &bb| {
+            bch.iter(|| black_box(MultipleSubmission::expectation(&model, bb, black_box(800.0))))
+        });
+    }
+    g.bench_function("delayed_eq5", |b| {
+        b.iter(|| {
+            black_box(DelayedResubmission::expectation(
+                &model,
+                black_box(339.0),
+                black_box(485.0),
+            ))
+        })
+    });
+    g.bench_function("delayed_eq5_moments", |b| {
+        b.iter(|| {
+            black_box(DelayedResubmission::moments(
+                &model,
+                black_box(339.0),
+                black_box(485.0),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let model = model_for(WeekId::W2006Ix, DEFAULT_SEED);
+    let mut g = c.benchmark_group("optimize");
+    g.sample_size(20);
+    g.bench_function("single_optimal_timeout", |b| {
+        b.iter(|| black_box(SingleResubmission::optimize(&model)))
+    });
+    g.bench_function("multiple_b5_optimal_timeout", |b| {
+        b.iter(|| black_box(MultipleSubmission::optimize(&model, 5)))
+    });
+    g.bench_function("delayed_ratio_1_3", |b| {
+        b.iter(|| black_box(DelayedResubmission::optimize_with_ratio(&model, 1.3)))
+    });
+    g.sample_size(10);
+    g.bench_function("delayed_free_2d", |b| {
+        b.iter(|| black_box(DelayedResubmission::optimize(&model)))
+    });
+    g.finish();
+}
+
+fn bench_model_construction(c: &mut Criterion) {
+    let trace = WeekId::W2006Ix.generate(DEFAULT_SEED);
+    c.bench_function("empirical_model_from_trace", |b| {
+        b.iter(|| black_box(EmpiricalModel::from_trace(black_box(&trace)).unwrap()))
+    });
+    let model = EmpiricalModel::from_trace(&trace).unwrap();
+    c.bench_function("powered_survival_b10", |b| {
+        b.iter(|| black_box(model.powered_survival_integrals(10, black_box(900.0))))
+    });
+}
+
+fn bench_analysis_extensions(c: &mut Criterion) {
+    use gridstrat_core::application::JSampler;
+    use gridstrat_core::cost::StrategyParams;
+    use gridstrat_core::strategy::JDistribution;
+    use gridstrat_stats::hazard::HazardProfile;
+    use gridstrat_stats::rng::derived_rng;
+
+    let trace = WeekId::W2006Ix.generate(DEFAULT_SEED);
+    let model = EmpiricalModel::from_trace(&trace).unwrap();
+    let ecdf = model.ecdf().clone();
+
+    let mut g = c.benchmark_group("extensions");
+    g.bench_function("hazard_profile_10bins", |b| {
+        b.iter(|| black_box(HazardProfile::from_ecdf(black_box(&ecdf), 10)))
+    });
+    let spec = StrategyParams::Delayed { t0: 339.0, t_inf: 485.0 };
+    let dist = JDistribution::new(&model, spec).unwrap();
+    g.bench_function("j_distribution_cdf", |b| {
+        b.iter(|| black_box(dist.cdf(black_box(1_234.0))))
+    });
+    g.bench_function("j_distribution_makespan_q", |b| {
+        b.iter(|| black_box(dist.makespan_quantile(500, black_box(0.5))))
+    });
+    let sampler = JSampler::new(&ecdf, spec);
+    g.bench_function("j_sampler_1000_draws", |b| {
+        b.iter(|| {
+            let mut rng = derived_rng(1, 0);
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += sampler.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ecdf,
+    bench_expectations,
+    bench_optimizers,
+    bench_model_construction,
+    bench_analysis_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the discrete-event simulator and the Monte-Carlo
+//! strategy executors: engine event throughput, probe-harness trace
+//! collection, and per-trial strategy execution cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridstrat_core::cost::StrategyParams;
+use gridstrat_core::executor::{MonteCarloConfig, StrategyExecutor};
+use gridstrat_sim::{GridConfig, GridSimulation, ProbeHarness};
+use gridstrat_workload::WeekModel;
+
+fn week() -> WeekModel {
+    WeekModel::calibrate("bench", 500.0, 700.0, 0.10, 150.0, 10_000.0).unwrap()
+}
+
+fn bench_probe_harness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_harness");
+    g.sample_size(20);
+    for &n in &[200usize, 1_000] {
+        g.bench_with_input(BenchmarkId::new("oracle_records", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim =
+                    GridSimulation::new(GridConfig::oracle(week()), 1).expect("valid config");
+                let mut h = ProbeHarness::new("bench", n, 25, 10_000.0);
+                sim.run_controller(&mut h);
+                black_box(h.into_trace())
+            })
+        });
+    }
+    g.bench_function("pipeline_records_200", |b| {
+        b.iter(|| {
+            let mut cfg = GridConfig::pipeline_default();
+            cfg.background = None;
+            let mut sim = GridSimulation::new(cfg, 2).expect("valid config");
+            let mut h = ProbeHarness::new("bench", 200, 10, 10_000.0);
+            sim.run_controller(&mut h);
+            black_box(h.into_trace())
+        })
+    });
+    g.finish();
+}
+
+fn bench_strategy_trials(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategy_mc");
+    g.sample_size(10);
+    let specs = [
+        ("single", StrategyParams::Single { t_inf: 700.0 }),
+        ("multiple_b3", StrategyParams::Multiple { b: 3, t_inf: 800.0 }),
+        ("delayed", StrategyParams::Delayed { t0: 400.0, t_inf: 550.0 }),
+    ];
+    for (name, spec) in specs {
+        g.bench_function(format!("{name}_500_trials"), |b| {
+            b.iter(|| {
+                let ex =
+                    StrategyExecutor::new(week(), MonteCarloConfig { trials: 500, seed: 3 });
+                black_box(ex.run(spec))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_background_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_congestion");
+    g.sample_size(10);
+    g.bench_function("congested_farm_100_probes", |b| {
+        b.iter(|| {
+            let mut cfg = GridConfig::pipeline_default();
+            cfg.sites.truncate(2);
+            let mut sim = GridSimulation::new(cfg, 4).expect("valid config");
+            let mut h = ProbeHarness::new("bench", 100, 10, 10_000.0);
+            sim.run_controller(&mut h);
+            black_box(h.into_trace())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_probe_harness,
+    bench_strategy_trials,
+    bench_background_load
+);
+criterion_main!(benches);

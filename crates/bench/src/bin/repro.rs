@@ -1,0 +1,103 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all                  # every experiment, CSVs under results/
+//! repro table2 figure8       # a subset
+//! repro --seed 42 table5     # different synthetic-trace seed
+//! repro --out target/res all # different output directory
+//! repro --list               # experiment ids and what they reproduce
+//! ```
+//!
+//! Absolute numbers depend on the synthetic calibration (see DESIGN.md §2);
+//! the shapes — who wins, by what factor, where the ∆cost minimum falls —
+//! are the reproduction targets recorded in EXPERIMENTS.md.
+
+use gridstrat_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
+use gridstrat_bench::DEFAULT_SEED;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: repro [--seed N] [--out DIR] [--list] <experiment ...|all>\n\
+     experiments: figure1 table1 figure2 table2 figure3 figure4 figure5 table3\n\
+                  figure6 figure7 table4 figure8 table5 table6\n\
+     extensions:  npar_ablation model_fits"
+}
+
+fn main() -> ExitCode {
+    let mut seed = DEFAULT_SEED;
+    let mut out_dir = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--out requires a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                println!("available experiments (paper order):");
+                for id in ALL_EXPERIMENTS {
+                    println!("  {id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+
+    if wanted.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    for id in &wanted {
+        let started = std::time::Instant::now();
+        let Some(tables) = run_experiment(id, seed) else {
+            eprintln!("unknown experiment `{id}`\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        for (i, table) in tables.iter().enumerate() {
+            // big series tables go to CSV in full but print only a preview
+            println!();
+            let rendered = table.to_string();
+            let lines: Vec<&str> = rendered.lines().collect();
+            const PREVIEW: usize = 40;
+            if lines.len() > PREVIEW + 8 {
+                for l in &lines[..PREVIEW] {
+                    println!("{l}");
+                }
+                println!("… ({} more rows; full series in CSV)", lines.len() - PREVIEW);
+            } else {
+                print!("{rendered}");
+            }
+            let suffix = if tables.len() > 1 { format!("_{}", i + 1) } else { String::new() };
+            let path = out_dir.join(format!("{id}{suffix}.csv"));
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("failed writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("[csv] {}", path.display());
+        }
+        eprintln!("[{id}] done in {:.1}s (seed {seed:#x})", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,49 @@
+//! # gridstrat-bench
+//!
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation. Each experiment is a pure function from a master seed to one
+//! or more [`gridstrat_core::report::Table`]s (plus, for surface/series
+//! figures, CSV-friendly data), so the same code path serves:
+//!
+//! * the `repro` binary (`cargo run -p gridstrat-bench --release --bin
+//!   repro -- all`), which prints paper-style tables and writes CSVs under
+//!   `results/`;
+//! * the Criterion benches (`cargo bench`), which time the kernels and a
+//!   reduced-size run of every experiment.
+//!
+//! Experiment ↔ paper mapping (see DESIGN.md §4 for the full index):
+//!
+//! | function | paper artefact |
+//! |---|---|
+//! | [`experiments::figure1`] | Fig. 1 — cumulative densities `F_R`, `F̃_R` |
+//! | [`experiments::table1`]  | Tab. 1 — per-week means/σ and single-resubmission `E_J`, `σ_J` |
+//! | [`experiments::figure2`] | Fig. 2 — `E_J(t∞)` for b = 1…10 |
+//! | [`experiments::table2`]  | Tab. 2 — optimal `t∞`, best `E_J`, `σ_J` for b = 1…20 |
+//! | [`experiments::figure3`] | Fig. 3 — min `E_J` and `σ_J` vs b per week |
+//! | [`experiments::figure4`] | Fig. 4 — delayed-strategy timeline |
+//! | [`experiments::figure5`] | Fig. 5 — `E_J(t0, t∞)` surface |
+//! | [`experiments::table3`]  | Tab. 3 — ratio sweep with `N_//` |
+//! | [`experiments::figure6`] | Fig. 6 — min `E_J` vs `N_//`, both strategies |
+//! | [`experiments::figure7`] | Fig. 7 — load-gain illustration |
+//! | [`experiments::table4`]  | Tab. 4 — `∆cost` samples, both strategies |
+//! | [`experiments::figure8`] | Fig. 8 — `∆cost` vs `N_//`, both strategies |
+//! | [`experiments::table5`]  | Tab. 5 — per-week `∆cost` optima + stability |
+//! | [`experiments::table6`]  | Tab. 6 — cross-week transfer matrix |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+
+use gridstrat_core::latency::EmpiricalModel;
+use gridstrat_workload::WeekId;
+
+/// Master seed used by the `repro` binary unless overridden on the command
+/// line. All published numbers in EXPERIMENTS.md come from this seed.
+pub const DEFAULT_SEED: u64 = 0xE6EE;
+
+/// Builds the empirical latency model of a week's synthetic trace.
+pub fn model_for(week: WeekId, seed: u64) -> EmpiricalModel {
+    let trace = week.generate(seed);
+    EmpiricalModel::from_trace(&trace).expect("synthetic traces are non-degenerate")
+}

@@ -1,0 +1,532 @@
+//! Monte-Carlo execution of the strategies against the discrete-event grid.
+//!
+//! Each closed form in this crate is validated by actually *running* the
+//! corresponding client-side protocol against [`gridstrat_sim`]: a
+//! controller submits, cancels and re-submits jobs exactly as a user's
+//! wrapper script would, and the realised total latency `J`, submission
+//! count and time-average parallel-job count are measured from the engine's
+//! audit records. Trials run in parallel with rayon; per-trial RNGs are
+//! derived from `(seed, trial)` so results do not depend on thread count.
+
+use crate::cost::StrategyParams;
+use gridstrat_stats::rng::derive_seed;
+use gridstrat_stats::Summary;
+use gridstrat_sim::{
+    Controller, GridConfig, GridSimulation, JobId, Notification, SimDuration,
+};
+use gridstrat_workload::WeekModel;
+use rayon::prelude::*;
+
+/// Monte-Carlo run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloConfig {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Master seed; trial `k` uses `derive_seed(seed, k)`.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig { trials: 10_000, seed: 0xE6EE }
+    }
+}
+
+/// Aggregated Monte-Carlo estimates for one strategy instance.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloEstimate {
+    /// Mean realised total latency `Ê_J`, seconds.
+    pub mean_j: f64,
+    /// Standard error of `mean_j`.
+    pub stderr_j: f64,
+    /// Realised standard deviation `σ̂_J`, seconds.
+    pub std_j: f64,
+    /// Mean number of submissions per task.
+    pub mean_submissions: f64,
+    /// Mean realised time-average parallel-job count `E[N_//(J)]`.
+    pub mean_parallel: f64,
+    /// Trials that completed (a job started before the horizon).
+    pub completed_trials: usize,
+}
+
+/// Runs submission strategies against an oracle- or resample-mode grid.
+#[derive(Debug, Clone)]
+pub struct StrategyExecutor {
+    grid: GridConfig,
+    config: MonteCarloConfig,
+}
+
+impl StrategyExecutor {
+    /// Creates an executor drawing latencies from a weekly generative model
+    /// (oracle mode).
+    pub fn new(model: WeekModel, config: MonteCarloConfig) -> Self {
+        StrategyExecutor { grid: GridConfig::oracle(model), config }
+    }
+
+    /// Creates an executor that resamples latencies i.i.d. from a recorded
+    /// trace — strategies then run against *exactly* the empirical law an
+    /// [`crate::latency::EmpiricalModel`] of that trace describes.
+    pub fn from_trace(trace: &gridstrat_workload::TraceSet, config: MonteCarloConfig) -> Self {
+        let latencies: Vec<f64> = trace.records.iter().map(|r| r.latency_s).collect();
+        StrategyExecutor {
+            grid: GridConfig::resample(latencies, trace.threshold_s),
+            config,
+        }
+    }
+
+    /// Runs `trials` independent executions of the strategy and aggregates.
+    ///
+    /// Trials execute on the rayon pool but are aggregated in trial order,
+    /// so the estimate is **bit-identical** for any thread count.
+    pub fn run(&self, spec: StrategyParams) -> MonteCarloEstimate {
+        let outcomes: Vec<Option<(f64, f64, f64)>> = (0..self.config.trials)
+            .into_par_iter()
+            .map(|trial| self.run_trial(spec, derive_seed(self.config.seed, trial as u64)))
+            .collect();
+        let mut j_sum = Summary::new();
+        let mut sub_sum = Summary::new();
+        let mut par_sum = Summary::new();
+        for out in outcomes.into_iter().flatten() {
+            let (j, subs, par) = out;
+            j_sum.push(j);
+            sub_sum.push(subs);
+            par_sum.push(par);
+        }
+        MonteCarloEstimate {
+            mean_j: j_sum.mean(),
+            stderr_j: j_sum.stderr(),
+            std_j: j_sum.std(),
+            mean_submissions: sub_sum.mean(),
+            mean_parallel: par_sum.mean(),
+            completed_trials: j_sum.count() as usize,
+        }
+    }
+
+    /// One trial: returns `(J, submissions, parallel-average)` or `None` if
+    /// no job started before the horizon.
+    fn run_trial(&self, spec: StrategyParams, seed: u64) -> Option<(f64, f64, f64)> {
+        let mut sim = GridSimulation::new(self.grid.clone(), seed)
+            .expect("executor grid configs are always valid");
+        let j = match spec {
+            StrategyParams::Single { t_inf } => {
+                let mut ctrl = SingleCtrl::new(t_inf);
+                sim.run_controller(&mut ctrl);
+                ctrl.j
+            }
+            StrategyParams::Multiple { b, t_inf } => {
+                let mut ctrl = MultipleCtrl::new(b, t_inf);
+                sim.run_controller(&mut ctrl);
+                ctrl.j
+            }
+            StrategyParams::Delayed { t0, t_inf } => {
+                let mut ctrl = DelayedCtrl::new(1, t0, t_inf);
+                sim.run_controller(&mut ctrl);
+                ctrl.j
+            }
+            StrategyParams::DelayedMultiple { b, t0, t_inf } => {
+                let mut ctrl = DelayedCtrl::new(b, t0, t_inf);
+                sim.run_controller(&mut ctrl);
+                ctrl.j
+            }
+        };
+        let j = j?;
+
+        // cancel everything still pending so bookkeeping below sees a
+        // terminal time for every job
+        let pending: Vec<JobId> = sim
+            .jobs()
+            .iter()
+            .filter(|r| !r.state.is_terminal() && r.started_at.is_none())
+            .map(|r| r.id)
+            .collect();
+        for id in pending {
+            sim.cancel(id);
+        }
+
+        let submissions = sim.stats().client_submitted as f64;
+        // time-integral of the number of in-system jobs over [0, J]:
+        // a job is "in the system" from submission until it starts, is
+        // cancelled, or the task completes at J
+        let mut integral = 0.0;
+        for rec in sim.jobs() {
+            let s = rec.submitted_at.as_secs();
+            if s >= j {
+                continue;
+            }
+            let end = match (rec.started_at, rec.terminated_at) {
+                (Some(st), _) => st.as_secs(),
+                (None, Some(term)) => term.as_secs(),
+                (None, None) => j,
+            };
+            integral += end.min(j) - s;
+        }
+        let n_par = if j > 0.0 { integral / j } else { 1.0 };
+        Some((j, submissions, n_par))
+    }
+}
+
+// --- single resubmission -----------------------------------------------------
+
+struct SingleCtrl {
+    t_inf: SimDuration,
+    current: Option<JobId>,
+    j: Option<f64>,
+}
+
+impl SingleCtrl {
+    fn new(t_inf: f64) -> Self {
+        SingleCtrl { t_inf: SimDuration::from_secs(t_inf), current: None, j: None }
+    }
+}
+
+impl Controller for SingleCtrl {
+    fn start(&mut self, sim: &mut GridSimulation) {
+        let id = sim.submit();
+        sim.set_timer(self.t_inf, id.0);
+        self.current = Some(id);
+    }
+
+    fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
+        match ev {
+            Notification::JobStarted { id, at }
+                if self.current == Some(id) => {
+                    self.j = Some(at.as_secs());
+                }
+            Notification::Timer { token, .. }
+                if self.j.is_none() && self.current == Some(JobId(token)) => {
+                    sim.cancel(JobId(token));
+                    let id = sim.submit();
+                    sim.set_timer(self.t_inf, id.0);
+                    self.current = Some(id);
+                }
+            _ => {}
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.j.is_some()
+    }
+}
+
+// --- multiple (burst) submission ----------------------------------------------
+
+struct MultipleCtrl {
+    b: u32,
+    t_inf: SimDuration,
+    round: u64,
+    jobs: Vec<JobId>,
+    j: Option<f64>,
+}
+
+impl MultipleCtrl {
+    fn new(b: u32, t_inf: f64) -> Self {
+        assert!(b >= 1);
+        MultipleCtrl {
+            b,
+            t_inf: SimDuration::from_secs(t_inf),
+            round: 0,
+            jobs: Vec::with_capacity(b as usize),
+            j: None,
+        }
+    }
+
+    fn submit_round(&mut self, sim: &mut GridSimulation) {
+        self.jobs.clear();
+        for _ in 0..self.b {
+            self.jobs.push(sim.submit());
+        }
+        sim.set_timer(self.t_inf, self.round);
+    }
+}
+
+impl Controller for MultipleCtrl {
+    fn start(&mut self, sim: &mut GridSimulation) {
+        self.submit_round(sim);
+    }
+
+    fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
+        match ev {
+            Notification::JobStarted { id, at }
+                if self.j.is_none() && self.jobs.contains(&id) => {
+                    self.j = Some(at.as_secs());
+                    // cancel the rest of the collection
+                    let others: Vec<JobId> =
+                        self.jobs.iter().copied().filter(|&o| o != id).collect();
+                    for o in others {
+                        sim.cancel(o);
+                    }
+                }
+            Notification::Timer { token, .. }
+                if self.j.is_none() && token == self.round => {
+                    for &o in &self.jobs.clone() {
+                        sim.cancel(o);
+                    }
+                    self.round += 1;
+                    self.submit_round(sim);
+                }
+            _ => {}
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.j.is_some()
+    }
+}
+
+// --- delayed resubmission ------------------------------------------------------
+
+struct DelayedCtrl {
+    b: u32,
+    t0: SimDuration,
+    t_inf: SimDuration,
+    /// all jobs, echelon by echelon (`b` jobs per echelon)
+    jobs: Vec<JobId>,
+    echelons: u64,
+    j: Option<f64>,
+}
+
+/// Timer-token encoding for the delayed controller: even = “submit the next
+/// echelon”, odd = “cancel job (token-1)/2”.
+fn submit_token(echelon: u64) -> u64 {
+    2 * echelon
+}
+fn cancel_token(id: JobId) -> u64 {
+    2 * id.0 + 1
+}
+
+impl DelayedCtrl {
+    fn new(b: u32, t0: f64, t_inf: f64) -> Self {
+        assert!(b >= 1, "need at least one copy per echelon");
+        assert!(
+            crate::strategy::DelayedResubmission::feasible(t0, t_inf),
+            "delayed controller requires a feasible pair"
+        );
+        DelayedCtrl {
+            b,
+            t0: SimDuration::from_secs(t0),
+            t_inf: SimDuration::from_secs(t_inf),
+            jobs: Vec::new(),
+            echelons: 0,
+            j: None,
+        }
+    }
+
+    fn submit_echelon(&mut self, sim: &mut GridSimulation) {
+        for _ in 0..self.b {
+            let id = sim.submit();
+            self.jobs.push(id);
+            sim.set_timer(self.t_inf, cancel_token(id));
+        }
+        self.echelons += 1;
+        sim.set_timer(self.t0, submit_token(self.echelons));
+    }
+}
+
+impl Controller for DelayedCtrl {
+    fn start(&mut self, sim: &mut GridSimulation) {
+        self.submit_echelon(sim);
+    }
+
+    fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
+        if self.j.is_some() {
+            return;
+        }
+        match ev {
+            Notification::JobStarted { id, at }
+                if self.jobs.contains(&id) => {
+                    self.j = Some(at.as_secs());
+                    let others: Vec<JobId> =
+                        self.jobs.iter().copied().filter(|&o| o != id).collect();
+                    for o in others {
+                        sim.cancel(o);
+                    }
+                }
+            Notification::Timer { token, .. } => {
+                if token % 2 == 1 {
+                    sim.cancel(JobId((token - 1) / 2));
+                } else {
+                    // submit echelon number `token/2` (0-based count so far)
+                    if token / 2 == self.echelons {
+                        self.submit_echelon(sim);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.j.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::EmpiricalModel;
+    use crate::strategy::{DelayedResubmission, MultipleSubmission, SingleResubmission};
+    use crate::LatencyModel;
+
+    fn week() -> WeekModel {
+        WeekModel::calibrate("mc", 500.0, 700.0, 0.10, 60.0, 10_000.0).unwrap()
+    }
+
+    /// Builds the *exact* empirical model of the oracle by sampling the
+    /// model heavily — the analytic predictions are then compared on the
+    /// same law the simulator draws from.
+    fn reference_model(w: &WeekModel) -> crate::latency::ParametricModel<impl gridstrat_stats::Distribution> {
+        crate::latency::ParametricModel::new(w.body(), w.rho, w.threshold_s).unwrap()
+    }
+
+    fn cfg(trials: usize) -> MonteCarloConfig {
+        MonteCarloConfig { trials, seed: 1234 }
+    }
+
+    #[test]
+    fn single_strategy_matches_analytic() {
+        let w = week();
+        let m = reference_model(&w);
+        let t_inf = 700.0;
+        let analytic = SingleResubmission::expectation(&m, t_inf);
+        let mc = StrategyExecutor::new(w, cfg(6_000)).run(StrategyParams::Single { t_inf });
+        assert_eq!(mc.completed_trials, 6_000);
+        let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
+        assert!(z < 4.0, "MC {} vs analytic {analytic} (z = {z})", mc.mean_j);
+        // submissions per task: geometric with success prob F̃(t∞)
+        let f = m.defective_cdf(t_inf);
+        let expected_subs = 1.0 / f;
+        assert!(
+            (mc.mean_submissions - expected_subs).abs() / expected_subs < 0.05,
+            "subs {} vs {expected_subs}",
+            mc.mean_submissions
+        );
+        // exactly one job in flight at all times
+        assert!((mc.mean_parallel - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_strategy_matches_analytic() {
+        let w = week();
+        let m = reference_model(&w);
+        let (b, t_inf) = (3u32, 800.0);
+        let analytic = MultipleSubmission::expectation(&m, b, t_inf);
+        let mc = StrategyExecutor::new(w, cfg(6_000)).run(StrategyParams::Multiple { b, t_inf });
+        let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
+        assert!(z < 4.0, "MC {} vs analytic {analytic} (z = {z})", mc.mean_j);
+        // the collection keeps b jobs in flight until J
+        assert!((mc.mean_parallel - b as f64).abs() < 0.02, "N {}", mc.mean_parallel);
+    }
+
+    #[test]
+    fn delayed_strategy_matches_analytic() {
+        let w = week();
+        let m = reference_model(&w);
+        let (t0, t_inf) = (400.0, 550.0);
+        let analytic = DelayedResubmission::expectation(&m, t0, t_inf);
+        let (_, sigma) = DelayedResubmission::moments(&m, t0, t_inf);
+        let mc = StrategyExecutor::new(w, cfg(8_000)).run(StrategyParams::Delayed { t0, t_inf });
+        let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
+        assert!(z < 4.0, "MC {} vs analytic {analytic} (z = {z})", mc.mean_j);
+        assert!(
+            (mc.std_j - sigma).abs() / sigma < 0.05,
+            "σ MC {} vs analytic {sigma}",
+            mc.std_j
+        );
+        // N_// stays inside the protocol's [1, 2) band
+        assert!(mc.mean_parallel >= 1.0 && mc.mean_parallel < 2.0);
+    }
+
+    #[test]
+    fn generalized_delayed_matches_analytic() {
+        let w = week();
+        let m = reference_model(&w);
+        let (b, t0, t_inf) = (2u32, 400.0, 550.0);
+        let analytic = DelayedResubmission::expectation_with_copies(&m, b, t0, t_inf);
+        let mc = StrategyExecutor::new(w, cfg(8_000))
+            .run(StrategyParams::DelayedMultiple { b, t0, t_inf });
+        let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
+        assert!(z < 4.0, "MC {} vs analytic {analytic} (z = {z})", mc.mean_j);
+        // up to 2b jobs in flight; realised average in (b, 2b)
+        assert!(mc.mean_parallel > 1.0 && mc.mean_parallel < 4.0);
+    }
+
+    #[test]
+    fn delayed_n_parallel_convention_vs_realised() {
+        // the paper's N_//(E_J) and the realised E[N_//(J)] should be close
+        // but need not coincide — both are reported
+        let w = week();
+        let m = reference_model(&w);
+        let (t0, t_inf) = (400.0, 550.0);
+        let paper_convention =
+            DelayedResubmission::evaluate(&m, t0, t_inf).n_parallel;
+        let mc = StrategyExecutor::new(w, cfg(6_000)).run(StrategyParams::Delayed { t0, t_inf });
+        assert!(
+            (mc.mean_parallel - paper_convention).abs() < 0.15,
+            "realised {} vs convention {paper_convention}",
+            mc.mean_parallel
+        );
+    }
+
+    #[test]
+    fn deterministic_across_repeats() {
+        let w = week();
+        let a = StrategyExecutor::new(w.clone(), cfg(300))
+            .run(StrategyParams::Single { t_inf: 700.0 });
+        let b = StrategyExecutor::new(w, cfg(300)).run(StrategyParams::Single { t_inf: 700.0 });
+        assert_eq!(a.mean_j.to_bits(), b.mean_j.to_bits());
+        assert_eq!(a.mean_submissions.to_bits(), b.mean_submissions.to_bits());
+    }
+
+    #[test]
+    fn resample_executor_matches_empirical_model_exactly() {
+        // the tightest loop: tune on a trace's ECDF, execute by resampling
+        // the very same trace — analytic and simulated laws coincide, so
+        // agreement is limited only by Monte-Carlo error
+        let w = week();
+        let trace = w.generate(2_500, 4242);
+        let emp = EmpiricalModel::from_trace(&trace).unwrap();
+        let ex = StrategyExecutor::from_trace(&trace, cfg(8_000));
+        for (label, spec, analytic) in [
+            (
+                "single",
+                StrategyParams::Single { t_inf: 650.0 },
+                SingleResubmission::expectation(&emp, 650.0),
+            ),
+            (
+                "multiple",
+                StrategyParams::Multiple { b: 3, t_inf: 800.0 },
+                MultipleSubmission::expectation(&emp, 3, 800.0),
+            ),
+            (
+                "delayed",
+                StrategyParams::Delayed { t0: 400.0, t_inf: 560.0 },
+                DelayedResubmission::expectation(&emp, 400.0, 560.0),
+            ),
+        ] {
+            let mc = ex.run(spec);
+            let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
+            assert!(
+                z < 4.0,
+                "{label}: MC {} vs analytic {analytic} (z = {z})",
+                mc.mean_j
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_model_from_simulated_trace_closes_the_loop() {
+        // generate a trace from the model, fit an empirical model, and
+        // check the analytic E_J on it is near the oracle-based MC
+        let w = week();
+        let trace = w.generate(4000, 99);
+        let emp = EmpiricalModel::from_trace(&trace).unwrap();
+        let t_inf = 700.0;
+        let analytic = SingleResubmission::expectation(&emp, t_inf);
+        let mc = StrategyExecutor::new(w, cfg(4_000)).run(StrategyParams::Single { t_inf });
+        assert!(
+            (mc.mean_j - analytic).abs() / analytic < 0.08,
+            "trace-fitted {analytic} vs MC {}",
+            mc.mean_j
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! Defective latency models: the `F̃_R` abstraction the strategy equations
+//! are written against.
+//!
+//! Two implementations are provided:
+//!
+//! * [`EmpiricalModel`] — wraps a censored trace's ECDF; every integral the
+//!   strategies need is evaluated exactly (step-function algebra);
+//! * [`ParametricModel`] — a fitted body distribution plus outlier mass,
+//!   with adaptive-Simpson quadrature for the same integrals. Useful for
+//!   smoothing rough traces and for closed-form cross-checks.
+
+use gridstrat_stats::integrate::adaptive_simpson;
+use gridstrat_stats::{Distribution, Ecdf};
+use gridstrat_workload::TraceSet;
+
+/// Quadrature tolerance for parametric integrals (absolute, in seconds of
+/// expectation — far below trace sampling noise).
+const QUAD_TOL: f64 = 1e-6;
+
+/// A defective latency model `F̃(t) = (1-ρ)·F_R(t)` with the integral
+/// queries required by the strategy equations (paper eqs. 1–5).
+pub trait LatencyModel {
+    /// `F̃(t) = P(R ≤ t)` over all submissions (saturates at `1-ρ`).
+    fn defective_cdf(&self, t: f64) -> f64;
+
+    /// `A(t) = ∫₀ᵗ (1 - F̃(u)) du`.
+    fn survival_integral(&self, t: f64) -> f64;
+
+    /// `B(t) = ∫₀ᵗ u·(1 - F̃(u)) du`.
+    fn moment_survival_integral(&self, t: f64) -> f64;
+
+    /// `(∫₀ᴸ s(u+shift)s(u) du, ∫₀ᴸ u·s(u+shift)s(u) du)` with
+    /// `s = 1 - F̃` — the delayed-resubmission kernels.
+    fn survival_product_integrals(&self, shift: f64, l: f64) -> (f64, f64);
+
+    /// `(∫₀ᵗ s(u)ᵇ du, ∫₀ᵗ u·s(u)ᵇ du)` — the multiple-submission kernels.
+    fn powered_survival_integrals(&self, b: u32, t: f64) -> (f64, f64);
+
+    /// `(∫₀ᴸ [s(u+shift)s(u)]ᵇ du, ∫₀ᴸ u·[s(u+shift)s(u)]ᵇ du)` — the
+    /// kernels of the *generalized* delayed strategy that submits `b`
+    /// copies per echelon (an extension beyond the paper; `b = 1` recovers
+    /// [`LatencyModel::survival_product_integrals`]).
+    fn powered_survival_product_integrals(&self, b: u32, shift: f64, l: f64) -> (f64, f64);
+
+    /// Censoring threshold: timeouts beyond it are meaningless.
+    fn horizon(&self) -> f64;
+
+    /// Outlier (fault) ratio `ρ`.
+    fn outlier_ratio(&self) -> f64;
+
+    /// Candidate timeout values for exact/near-exact 1-D optimization.
+    /// For an empirical model these are the distinct sample values (where
+    /// the optimum provably lies); for parametric models, a dense quantile
+    /// grid.
+    fn candidate_timeouts(&self) -> Vec<f64>;
+
+    /// A plausible `(lo, hi)` range bracketing useful timeout values, used
+    /// to seed 2-D searches.
+    fn plausible_range(&self) -> (f64, f64);
+
+    /// Mean of the non-outlier latency body (reporting convenience).
+    fn body_mean(&self) -> f64;
+}
+
+/// Exact model built on a censored empirical CDF.
+#[derive(Debug, Clone)]
+pub struct EmpiricalModel {
+    ecdf: Ecdf,
+}
+
+impl EmpiricalModel {
+    /// Builds from a raw latency sample (values ≥ `threshold` are outliers).
+    pub fn from_samples(
+        samples: &[f64],
+        threshold: f64,
+    ) -> Result<Self, gridstrat_stats::ecdf::EcdfError> {
+        Ok(EmpiricalModel { ecdf: Ecdf::from_samples(samples, threshold)? })
+    }
+
+    /// Builds from a probe trace.
+    pub fn from_trace(trace: &TraceSet) -> Result<Self, gridstrat_stats::ecdf::EcdfError> {
+        Ok(EmpiricalModel { ecdf: trace.ecdf()? })
+    }
+
+    /// Wraps an already-built ECDF.
+    pub fn from_ecdf(ecdf: Ecdf) -> Self {
+        EmpiricalModel { ecdf }
+    }
+
+    /// The underlying ECDF.
+    pub fn ecdf(&self) -> &Ecdf {
+        &self.ecdf
+    }
+}
+
+impl LatencyModel for EmpiricalModel {
+    fn defective_cdf(&self, t: f64) -> f64 {
+        self.ecdf.value(t)
+    }
+
+    fn survival_integral(&self, t: f64) -> f64 {
+        self.ecdf.survival_integral(t)
+    }
+
+    fn moment_survival_integral(&self, t: f64) -> f64 {
+        self.ecdf.moment_survival_integral(t)
+    }
+
+    fn survival_product_integrals(&self, shift: f64, l: f64) -> (f64, f64) {
+        self.ecdf.survival_product_integrals(shift, l)
+    }
+
+    fn powered_survival_integrals(&self, b: u32, t: f64) -> (f64, f64) {
+        if t <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let xs = self.ecdf.body();
+        let n = self.ecdf.n_total() as f64;
+        let b = b as i32;
+        let mut a_int = 0.0;
+        let mut b_int = 0.0;
+        let mut lo = 0.0;
+        let mut j = 0usize;
+        // iterate intervals [x_{j-1}, x_j) below t; survival is (1 - j/n)^b
+        while lo < t {
+            let hi = if j < xs.len() { xs[j].min(t) } else { t };
+            if hi > lo {
+                let s = (1.0 - j as f64 / n).powi(b);
+                a_int += s * (hi - lo);
+                b_int += s * 0.5 * (hi * hi - lo * lo);
+            }
+            lo = hi;
+            j += 1;
+        }
+        (a_int, b_int)
+    }
+
+    fn powered_survival_product_integrals(&self, b: u32, shift: f64, l: f64) -> (f64, f64) {
+        if l <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let xs = self.ecdf.body();
+        let n = self.ecdf.n_total() as f64;
+        let b = b as i32;
+        // breakpoints of s(u)·s(u+shift) inside (0, l): sample values and
+        // sample values shifted left
+        let mut brs: Vec<f64> = Vec::new();
+        let start = xs.partition_point(|&x| x <= 0.0);
+        let end = xs.partition_point(|&x| x < l);
+        brs.extend_from_slice(&xs[start..end]);
+        let start_s = xs.partition_point(|&x| x <= shift);
+        let end_s = xs.partition_point(|&x| x < shift + l);
+        brs.extend(xs[start_s..end_s].iter().map(|&x| x - shift));
+        brs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        brs.dedup();
+
+        let mut c = 0.0;
+        let mut d = 0.0;
+        let mut lo = 0.0;
+        let mut idx = 0usize;
+        while lo < l {
+            let hi = if idx < brs.len() { brs[idx].min(l) } else { l };
+            if hi > lo {
+                // midpoint evaluation: exact for step functions and immune
+                // to the (x - shift) + shift float round-trip at edges
+                let mid = 0.5 * (lo + hi);
+                let j1 = xs.partition_point(|&x| x <= mid);
+                let j2 = xs.partition_point(|&x| x <= mid + shift);
+                let v = ((1.0 - j1 as f64 / n) * (1.0 - j2 as f64 / n)).powi(b);
+                c += v * (hi - lo);
+                d += v * 0.5 * (hi * hi - lo * lo);
+            }
+            lo = hi;
+            idx += 1;
+        }
+        (c, d)
+    }
+
+    fn horizon(&self) -> f64 {
+        self.ecdf.threshold()
+    }
+
+    fn outlier_ratio(&self) -> f64 {
+        self.ecdf.outlier_ratio()
+    }
+
+    fn candidate_timeouts(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self.ecdf.body().to_vec();
+        out.dedup();
+        out
+    }
+
+    fn plausible_range(&self) -> (f64, f64) {
+        // bracket between the 1st and 99.5th body percentile — timeouts
+        // outside never help (F̃ ≈ 0 below, pure waste above)
+        let lo = self.ecdf.body_quantile(0.01).max(1.0);
+        let hi = self.ecdf.body_quantile(0.995).min(self.horizon());
+        (lo, hi.max(lo + 1.0))
+    }
+
+    fn body_mean(&self) -> f64 {
+        self.ecdf.body_mean()
+    }
+}
+
+/// Parametric model: a continuous body distribution plus outlier mass `ρ`.
+#[derive(Debug, Clone)]
+pub struct ParametricModel<D> {
+    body: D,
+    rho: f64,
+    horizon: f64,
+}
+
+impl<D: Distribution> ParametricModel<D> {
+    /// Creates the model; `rho ∈ [0, 1)`, `horizon > 0`.
+    pub fn new(body: D, rho: f64, horizon: f64) -> Result<Self, String> {
+        if !(rho.is_finite() && (0.0..1.0).contains(&rho)) {
+            return Err(format!("rho must be in [0,1), got {rho}"));
+        }
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(format!("horizon must be positive, got {horizon}"));
+        }
+        Ok(ParametricModel { body, rho, horizon })
+    }
+
+    /// The body distribution.
+    pub fn body(&self) -> &D {
+        &self.body
+    }
+
+    fn survival(&self, t: f64) -> f64 {
+        1.0 - self.defective_cdf(t)
+    }
+}
+
+impl<D: Distribution> LatencyModel for ParametricModel<D> {
+    fn defective_cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.rho) * self.body.cdf(t)
+        }
+    }
+
+    fn survival_integral(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        adaptive_simpson(|u| self.survival(u), 0.0, t, QUAD_TOL)
+    }
+
+    fn moment_survival_integral(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        adaptive_simpson(|u| u * self.survival(u), 0.0, t, QUAD_TOL)
+    }
+
+    fn survival_product_integrals(&self, shift: f64, l: f64) -> (f64, f64) {
+        if l <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let c = adaptive_simpson(|u| self.survival(u + shift) * self.survival(u), 0.0, l, QUAD_TOL);
+        let d = adaptive_simpson(
+            |u| u * self.survival(u + shift) * self.survival(u),
+            0.0,
+            l,
+            QUAD_TOL,
+        );
+        (c, d)
+    }
+
+    fn powered_survival_integrals(&self, b: u32, t: f64) -> (f64, f64) {
+        if t <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let b = b as i32;
+        let a = adaptive_simpson(|u| self.survival(u).powi(b), 0.0, t, QUAD_TOL);
+        let m = adaptive_simpson(|u| u * self.survival(u).powi(b), 0.0, t, QUAD_TOL);
+        (a, m)
+    }
+
+    fn powered_survival_product_integrals(&self, b: u32, shift: f64, l: f64) -> (f64, f64) {
+        if l <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let b = b as i32;
+        let c = adaptive_simpson(
+            |u| (self.survival(u + shift) * self.survival(u)).powi(b),
+            0.0,
+            l,
+            QUAD_TOL,
+        );
+        let d = adaptive_simpson(
+            |u| u * (self.survival(u + shift) * self.survival(u)).powi(b),
+            0.0,
+            l,
+            QUAD_TOL,
+        );
+        (c, d)
+    }
+
+    fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    fn outlier_ratio(&self) -> f64 {
+        self.rho
+    }
+
+    fn candidate_timeouts(&self) -> Vec<f64> {
+        // dense quantile grid of the body, clamped to the horizon
+        const N: usize = 1024;
+        let mut out = Vec::with_capacity(N);
+        for i in 1..=N {
+            let p = i as f64 / (N as f64 + 1.0);
+            let q = self.body.quantile(p);
+            if q > 0.0 && q < self.horizon {
+                out.push(q);
+            }
+        }
+        out.dedup();
+        out
+    }
+
+    fn plausible_range(&self) -> (f64, f64) {
+        let lo = self.body.quantile(0.01).max(1.0);
+        let hi = self.body.quantile(0.995).min(self.horizon);
+        (lo, hi.max(lo + 1.0))
+    }
+
+    fn body_mean(&self) -> f64 {
+        self.body.mean().unwrap_or(f64::NAN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridstrat_stats::{Exponential, LogNormal};
+
+    fn empirical() -> EmpiricalModel {
+        // body 100,200,300,400 + 1 outlier; n = 5
+        EmpiricalModel::from_samples(&[100.0, 200.0, 300.0, 400.0, 20_000.0], 10_000.0).unwrap()
+    }
+
+    #[test]
+    fn empirical_basics() {
+        let m = empirical();
+        assert!((m.outlier_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(m.horizon(), 10_000.0);
+        assert!((m.defective_cdf(250.0) - 0.4).abs() < 1e-12);
+        assert!((m.body_mean() - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powered_integrals_match_plain_at_b1() {
+        let m = empirical();
+        for t in [50.0, 150.0, 350.0, 500.0, 9_000.0] {
+            let (a1, b1) = m.powered_survival_integrals(1, t);
+            assert!((a1 - m.survival_integral(t)).abs() < 1e-9, "A at {t}");
+            assert!((b1 - m.moment_survival_integral(t)).abs() < 1e-9, "B at {t}");
+        }
+    }
+
+    #[test]
+    fn powered_integrals_hand_computed() {
+        let m = empirical();
+        // survival: 1 on [0,100), .8 on [100,200), .6, .4, then .2
+        // b=2: ∫₀²⁵⁰ s² = 100 + .64*100 + .36*50 = 182
+        let (a2, _) = m.powered_survival_integrals(2, 250.0);
+        assert!((a2 - 182.0).abs() < 1e-9, "got {a2}");
+    }
+
+    #[test]
+    fn powered_decreasing_in_b() {
+        let m = empirical();
+        let t = 350.0;
+        let mut prev = f64::INFINITY;
+        for b in 1..=10 {
+            let (a, _) = m.powered_survival_integrals(b, t);
+            assert!(a < prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn candidates_are_distinct_samples() {
+        let m = EmpiricalModel::from_samples(&[5.0, 5.0, 7.0, 9.0, 9.0], 100.0).unwrap();
+        assert_eq!(m.candidate_timeouts(), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn parametric_matches_exponential_closed_form() {
+        // For Exponential(λ), no outliers: A(t) = (1 - e^{-λt})/λ
+        let lambda = 0.002;
+        let m = ParametricModel::new(Exponential::new(lambda).unwrap(), 0.0, 1e4).unwrap();
+        for t in [100.0, 500.0, 2_000.0] {
+            let want = (1.0 - (-lambda * t).exp()) / lambda;
+            assert!(
+                (m.survival_integral(t) - want).abs() < 1e-4,
+                "A({t}) = {} want {want}",
+                m.survival_integral(t)
+            );
+        }
+    }
+
+    #[test]
+    fn parametric_with_outliers_scales_survival() {
+        let rho = 0.25;
+        let m = ParametricModel::new(Exponential::new(0.01).unwrap(), rho, 1e4).unwrap();
+        // as t → ∞ the defective cdf saturates at 1 - ρ
+        assert!((m.defective_cdf(5_000.0) - 0.75).abs() < 1e-6);
+        // A(t) ≥ ρ·t always (survival ≥ ρ)
+        assert!(m.survival_integral(2_000.0) >= rho * 2_000.0);
+    }
+
+    #[test]
+    fn parametric_product_integral_vs_empirical_on_same_law() {
+        // large empirical sample from a lognormal should give product
+        // integrals close to the parametric quadrature
+        use gridstrat_stats::rng::derived_rng;
+        let body = LogNormal::new(5.5, 0.9).unwrap();
+        let mut rng = derived_rng(77, 0);
+        let xs = body.sample_n(&mut rng, 60_000);
+        let emp = EmpiricalModel::from_samples(&xs, 1e5).unwrap();
+        let par = ParametricModel::new(body, 0.0, 1e5).unwrap();
+        let (ce, de) = emp.survival_product_integrals(200.0, 400.0);
+        let (cp, dp) = par.survival_product_integrals(200.0, 400.0);
+        assert!((ce - cp).abs() / cp < 0.02, "C: emp {ce} par {cp}");
+        assert!((de - dp).abs() / dp < 0.02, "D: emp {de} par {dp}");
+    }
+
+    #[test]
+    fn parametric_rejects_bad_params() {
+        let e = Exponential::new(1.0).unwrap();
+        assert!(ParametricModel::new(e, 1.0, 100.0).is_err());
+        assert!(ParametricModel::new(e, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn plausible_range_is_ordered_and_within_horizon() {
+        let m = empirical();
+        let (lo, hi) = m.plausible_range();
+        assert!(lo > 0.0 && lo < hi && hi <= m.horizon());
+    }
+}

@@ -1,0 +1,31 @@
+//! The three client-side submission strategies of the paper.
+//!
+//! | Strategy | Paper | Parameters | Model |
+//! |---|---|---|---|
+//! | [`SingleResubmission`] | §4, eqs. 1–2 | timeout `t∞` | cancel + resubmit at `t∞` |
+//! | [`MultipleSubmission`] | §5, eqs. 3–4 | copies `b`, timeout `t∞` | burst of `b`, cancel rest on first start |
+//! | [`DelayedResubmission`] | §6, eq. 5 | delay `t0`, timeout `t∞` | copy at `t0`, cancel original at `t∞` |
+//!
+//! All three expose closed-form `E_J` / `σ_J` over a [`crate::latency::LatencyModel`]
+//! plus exact (single/multiple) or multi-resolution (delayed) optimizers.
+
+pub mod delayed;
+pub mod distribution;
+pub mod multiple;
+pub mod single;
+
+pub use delayed::{DelayedOutcome, DelayedResubmission};
+pub use distribution::JDistribution;
+pub use multiple::MultipleSubmission;
+pub use single::SingleResubmission;
+
+/// Outcome of a 1-D timeout optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timeout1d {
+    /// Optimal timeout `t∞` in seconds.
+    pub timeout: f64,
+    /// `E_J` at the optimum, seconds.
+    pub expectation: f64,
+    /// `σ_J` at the optimum, seconds.
+    pub std_dev: f64,
+}

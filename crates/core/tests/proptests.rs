@@ -1,0 +1,211 @@
+//! Property-based tests for the strategy models: the structural laws of
+//! eqs. 1–6 that must hold for *any* defective latency model, not just the
+//! calibrated EGEE weeks.
+
+use gridstrat_core::cost::delta_cost;
+use gridstrat_core::latency::{EmpiricalModel, LatencyModel};
+use gridstrat_core::strategy::{DelayedResubmission, MultipleSubmission, SingleResubmission};
+use proptest::prelude::*;
+
+/// Random censored latency samples with a guaranteed non-degenerate body.
+fn latency_samples() -> impl Strategy<Value = Vec<f64>> {
+    (
+        proptest::collection::vec(50.0f64..9_500.0, 5..80),
+        proptest::collection::vec(10_000.0f64..30_000.0, 0..20),
+    )
+        .prop_map(|(mut body, outliers)| {
+            body.extend(outliers);
+            body
+        })
+}
+
+fn model_from(samples: &[f64]) -> EmpiricalModel {
+    EmpiricalModel::from_samples(samples, 10_000.0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn eq1_expectation_at_least_conditional_mean_below_timeout(
+        samples in latency_samples(), t_inf in 60.0f64..9_400.0,
+    ) {
+        let m = model_from(&samples);
+        let e = SingleResubmission::expectation(&m, t_inf);
+        if e.is_finite() {
+            // E_J ≥ E[R | R < t∞] (resubmission can only add waiting)
+            let below: Vec<f64> = samples.iter().copied().filter(|&x| x < t_inf).collect();
+            prop_assume!(!below.is_empty());
+            let cond_mean = below.iter().sum::<f64>() / below.len() as f64;
+            prop_assert!(e >= cond_mean - 1e-6, "E_J {e} < conditional mean {cond_mean}");
+        }
+    }
+
+    #[test]
+    fn eq2_variance_nonnegative(samples in latency_samples(), t_inf in 60.0f64..9_400.0) {
+        let m = model_from(&samples);
+        let v = SingleResubmission::variance(&m, t_inf);
+        prop_assert!(v >= 0.0 || v.is_infinite());
+    }
+
+    #[test]
+    fn eq3_more_copies_never_hurt_at_fixed_timeout(
+        samples in latency_samples(), t_inf in 60.0f64..9_400.0, b in 1u32..12,
+    ) {
+        let m = model_from(&samples);
+        let e_b = MultipleSubmission::expectation(&m, b, t_inf);
+        let e_b1 = MultipleSubmission::expectation(&m, b + 1, t_inf);
+        if e_b.is_finite() {
+            prop_assert!(e_b1 <= e_b + 1e-9, "E(b+1) {e_b1} > E(b) {e_b}");
+        }
+    }
+
+    #[test]
+    fn eq3_reduces_to_eq1_at_b1(samples in latency_samples(), t_inf in 60.0f64..9_400.0) {
+        let m = model_from(&samples);
+        let single = SingleResubmission::expectation(&m, t_inf);
+        let multi = MultipleSubmission::expectation(&m, 1, t_inf);
+        if single.is_finite() {
+            prop_assert!((single - multi).abs() <= 1e-9 * single.max(1.0));
+        } else {
+            prop_assert!(multi.is_infinite());
+        }
+    }
+
+    #[test]
+    fn eq5_degenerates_to_eq1_on_the_diagonal(
+        samples in latency_samples(), t in 60.0f64..9_000.0,
+    ) {
+        let m = model_from(&samples);
+        let single = SingleResubmission::expectation(&m, t);
+        let delayed = DelayedResubmission::expectation(&m, t, t);
+        if single.is_finite() {
+            prop_assert!((single - delayed).abs() <= 1e-7 * single.max(1.0),
+                "diagonal mismatch: single {single} delayed {delayed}");
+        } else {
+            prop_assert!(delayed.is_infinite());
+        }
+    }
+
+    #[test]
+    fn eq5_beats_or_matches_single_with_same_timeout(
+        samples in latency_samples(), t0 in 60.0f64..4_500.0, frac in 0.0f64..1.0,
+    ) {
+        // adding an extra (delayed) copy can only reduce the first-start
+        // time: E_delayed(t0, t∞) ≤ E_single(t∞)… with the SAME total
+        // timeout t∞ per job. Here t∞ ∈ [t0, 2 t0].
+        let m = model_from(&samples);
+        let t_inf = t0 + frac * t0;
+        let delayed = DelayedResubmission::expectation(&m, t0, t_inf);
+        let single = SingleResubmission::expectation(&m, t_inf);
+        if single.is_finite() && delayed.is_finite() {
+            prop_assert!(delayed <= single + 1e-6,
+                "delayed {delayed} worse than single {single} at t∞ {t_inf}");
+        }
+    }
+
+    #[test]
+    fn eq5_sigma_nonnegative_and_finite_when_expectation_is(
+        samples in latency_samples(), t0 in 60.0f64..4_500.0, frac in 0.0f64..1.0,
+    ) {
+        let m = model_from(&samples);
+        let t_inf = t0 + frac * t0;
+        let (e, s) = DelayedResubmission::moments(&m, t0, t_inf);
+        if e.is_finite() {
+            prop_assert!(s >= 0.0 && s.is_finite());
+        }
+    }
+
+    #[test]
+    fn n_parallel_stays_in_band(
+        t0 in 10.0f64..5_000.0, frac in 0.0f64..1.0, l in 0.1f64..50_000.0,
+    ) {
+        let t_inf = t0 + frac * t0;
+        let n = DelayedResubmission::n_parallel_at(l, t0, t_inf);
+        prop_assert!((1.0..2.0 + 1e-12).contains(&n), "N_// {n} out of [1,2]");
+    }
+
+    #[test]
+    fn n_parallel_converges_to_ratio(t0 in 10.0f64..1_000.0, frac in 0.01f64..0.99) {
+        let t_inf = t0 + frac * t0;
+        let n = DelayedResubmission::n_parallel_at(1e7, t0, t_inf);
+        prop_assert!((n - t_inf / t0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn optimal_single_timeout_is_a_sample(samples in latency_samples()) {
+        let m = model_from(&samples);
+        let opt = SingleResubmission::optimize(&m);
+        prop_assert!(samples.iter().any(|&x| (x - opt.timeout).abs() < 1e-12));
+        // and no sample value gives a lower expectation
+        for &t in &samples {
+            if t < 10_000.0 {
+                prop_assert!(SingleResubmission::expectation(&m, t) >= opt.expectation - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_cost_of_single_is_one(samples in latency_samples()) {
+        let m = model_from(&samples);
+        let opt = SingleResubmission::optimize(&m);
+        let dc = delta_cost(1.0, opt.expectation, opt.expectation);
+        prop_assert!((dc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powered_integrals_decrease_in_b(
+        samples in latency_samples(), t in 60.0f64..9_000.0, b in 1u32..10,
+    ) {
+        let m = model_from(&samples);
+        let (a1, m1) = m.powered_survival_integrals(b, t);
+        let (a2, m2) = m.powered_survival_integrals(b + 1, t);
+        prop_assert!(a2 <= a1 + 1e-12);
+        prop_assert!(m2 <= m1 + 1e-9);
+        prop_assert!(a2 >= 0.0 && m2 >= 0.0);
+    }
+
+    #[test]
+    fn j_distribution_cdf_bounds_and_monotonicity(
+        samples in latency_samples(),
+        t0 in 100.0f64..4_000.0,
+        frac in 0.0f64..1.0,
+        ts in proptest::collection::vec(0.0f64..50_000.0, 6),
+    ) {
+        use gridstrat_core::cost::StrategyParams;
+        use gridstrat_core::strategy::JDistribution;
+        let m = model_from(&samples);
+        let t_inf = t0 + frac * t0;
+        let Ok(d) = JDistribution::new(&m, StrategyParams::Delayed { t0, t_inf }) else {
+            return Ok(()); // timeout below the support: correctly rejected
+        };
+        let mut sorted = ts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for t in sorted {
+            let v = d.cdf(t);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v + 1e-12 >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn generalized_delayed_bounded_by_components(
+        samples in latency_samples(),
+        t0 in 100.0f64..4_000.0,
+        frac in 0.0f64..1.0,
+        b in 2u32..5,
+    ) {
+        // E_delayed-multiple(b) ≤ min(E_delayed(1), E_multiple(b, t∞))
+        let m = model_from(&samples);
+        let t_inf = t0 + frac * t0;
+        let gen = DelayedResubmission::expectation_with_copies(&m, b, t0, t_inf);
+        let single_copy = DelayedResubmission::expectation(&m, t0, t_inf);
+        let burst = MultipleSubmission::expectation(&m, b, t_inf);
+        if gen.is_finite() {
+            prop_assert!(gen <= single_copy + 1e-6);
+            prop_assert!(gen <= burst + 1e-6);
+        }
+    }
+}

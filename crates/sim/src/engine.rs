@@ -1,0 +1,776 @@
+//! The simulation engine and the controller API through which client-side
+//! submission strategies drive it.
+//!
+//! The engine is a single-threaded, deterministic discrete-event loop. All
+//! randomness flows from one seeded RNG, and same-instant events fire in
+//! scheduling order, so a `(config, seed, controller)` triple always yields
+//! the same history. Parallelism lives one level up: Monte-Carlo executors
+//! run many engines concurrently (one per trial) with rayon.
+
+use crate::config::{GridConfig, LatencyMode, RankingPolicy};
+use crate::event::{EventKind, EventQueue};
+use crate::job::{JobId, JobOrigin, JobRecord, JobState};
+use crate::time::{SimDuration, SimTime};
+use gridstrat_stats::dist::{sample_standard_normal, LogNormal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Events surfaced to the client-side controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Notification {
+    /// A client job started running.
+    JobStarted {
+        /// The job.
+        id: JobId,
+        /// Start instant.
+        at: SimTime,
+    },
+    /// A client job finished executing.
+    JobFinished {
+        /// The job.
+        id: JobId,
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// A client job failed with a visible middleware error.
+    JobFailed {
+        /// The job.
+        id: JobId,
+        /// Failure instant.
+        at: SimTime,
+    },
+    /// A timer set via [`GridSimulation::set_timer`] expired.
+    Timer {
+        /// The token passed at arming time.
+        token: u64,
+        /// Expiry instant.
+        at: SimTime,
+    },
+}
+
+/// A client-side submission controller (a strategy, a probe harness, …).
+///
+/// The controller is called re-entrantly with a mutable handle on the
+/// simulation: it may submit, cancel and arm timers from both hooks.
+pub trait Controller {
+    /// Called once before any event is processed.
+    fn start(&mut self, sim: &mut GridSimulation);
+    /// Called for every notification addressed to the client.
+    fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification);
+    /// When true, the run loop returns.
+    fn done(&self) -> bool;
+}
+
+#[derive(Debug, Default)]
+struct SiteState {
+    running: usize,
+    queue: VecDeque<JobId>,
+}
+
+/// Aggregate run counters (client and background populations separately).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Client jobs submitted.
+    pub client_submitted: u64,
+    /// Client jobs that started running.
+    pub client_started: u64,
+    /// Client jobs cancelled before starting.
+    pub client_cancelled: u64,
+    /// Client jobs that failed visibly.
+    pub client_failed: u64,
+    /// Client jobs silently lost (outliers).
+    pub client_stuck: u64,
+    /// Background jobs submitted.
+    pub background_submitted: u64,
+    /// Background jobs that started.
+    pub background_started: u64,
+}
+
+/// The discrete-event grid simulation.
+///
+/// See the crate docs for the modelled pipeline. Typical use:
+///
+/// ```
+/// use gridstrat_sim::{Controller, GridConfig, GridSimulation, Notification};
+/// use gridstrat_workload::WeekModel;
+///
+/// struct OneShot { started: Option<f64> }
+/// impl Controller for OneShot {
+///     fn start(&mut self, sim: &mut GridSimulation) { sim.submit(); }
+///     fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
+///         if let Notification::JobStarted { at, .. } = ev {
+///             self.started = Some(at.as_secs());
+///         }
+///     }
+///     fn done(&self) -> bool { self.started.is_some() }
+/// }
+///
+/// let model = WeekModel::calibrate("demo", 500.0, 700.0, 0.0, 50.0, 1e4).unwrap();
+/// let mut sim = GridSimulation::new(GridConfig::oracle(model), 42).unwrap();
+/// let mut ctrl = OneShot { started: None };
+/// sim.run_controller(&mut ctrl);
+/// assert!(ctrl.started.unwrap() >= 50.0);
+/// ```
+#[derive(Debug)]
+pub struct GridSimulation {
+    cfg: GridConfig,
+    now: SimTime,
+    queue: EventQueue,
+    jobs: Vec<JobRecord>,
+    exec_times: Vec<SimDuration>,
+    sites: Vec<SiteState>,
+    rng: StdRng,
+    notifications: VecDeque<Notification>,
+    stats: EngineStats,
+}
+
+impl GridSimulation {
+    /// Builds a simulation from a validated config and a seed.
+    pub fn new(cfg: GridConfig, seed: u64) -> Result<Self, String> {
+        cfg.validate()?;
+        let sites = cfg.sites.iter().map(|_| SiteState::default()).collect();
+        let mut sim = GridSimulation {
+            cfg,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            jobs: Vec::new(),
+            exec_times: Vec::new(),
+            sites,
+            rng: StdRng::seed_from_u64(seed),
+            notifications: VecDeque::new(),
+            stats: EngineStats::default(),
+        };
+        if sim.cfg.background.is_some() {
+            sim.schedule_next_background_arrival();
+        }
+        Ok(sim)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to a job's audit record.
+    pub fn job(&self, id: JobId) -> &JobRecord {
+        &self.jobs[id.0 as usize]
+    }
+
+    /// All job records (client and background), in submission order.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Submits a client job with zero execution time (a probe).
+    pub fn submit(&mut self) -> JobId {
+        self.submit_with_exec(SimDuration::ZERO)
+    }
+
+    /// Submits a client job that will hold its slot for `exec` once started.
+    pub fn submit_with_exec(&mut self, exec: SimDuration) -> JobId {
+        let id = JobId(self.jobs.len() as u64);
+        self.jobs.push(JobRecord::new(id, JobOrigin::Client, self.now));
+        self.exec_times.push(exec);
+        self.stats.client_submitted += 1;
+        self.route_submission(id);
+        id
+    }
+
+    /// Cancels a client job. Returns `true` if the job was still pending
+    /// when the request was issued; `false` if it had already started,
+    /// finished or otherwise terminated.
+    ///
+    /// With a zero configured cancellation delay the job is removed
+    /// immediately; with a positive delay the request travels through the
+    /// middleware first, and the job may *still start* in the meantime —
+    /// the realistic failure mode of burst-cancellation on EGEE.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        let state = self.jobs[id.0 as usize].state;
+        if !(state.is_pending() || state == JobState::Stuck) {
+            return false;
+        }
+        if self.cfg.wms.cancellation_delay_mean_s > 0.0 {
+            let d = self.exp_delay(self.cfg.wms.cancellation_delay_mean_s);
+            self.queue.schedule(self.now.after(d), EventKind::CancelApply(id));
+        } else {
+            self.apply_cancel(id);
+        }
+        true
+    }
+
+    fn apply_cancel(&mut self, id: JobId) {
+        let state = self.jobs[id.0 as usize].state;
+        if state.is_pending() || state == JobState::Stuck {
+            self.jobs[id.0 as usize].state = JobState::Cancelled;
+            self.jobs[id.0 as usize].terminated_at = Some(self.now);
+            self.stats.client_cancelled += 1;
+            // site queues are purged lazily when slots are assigned
+        }
+    }
+
+    /// Arms a timer; a [`Notification::Timer`] with `token` fires after
+    /// `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.queue.schedule(self.now.after(delay), EventKind::Timer { token });
+    }
+
+    /// Runs the event loop, surfacing notifications to `ctrl`, until the
+    /// controller reports done, the queue drains, or the horizon passes.
+    pub fn run_controller<C: Controller + ?Sized>(&mut self, ctrl: &mut C) {
+        ctrl.start(self);
+        self.drain_notifications(ctrl);
+        let horizon = SimTime::ZERO.after(self.cfg.horizon);
+        while !ctrl.done() {
+            let Some((t, kind)) = self.queue.pop() else { break };
+            if t > horizon {
+                break;
+            }
+            debug_assert!(t >= self.now, "event queue yielded a past event");
+            self.now = t;
+            self.handle(kind);
+            self.drain_notifications(ctrl);
+        }
+    }
+
+    fn drain_notifications<C: Controller + ?Sized>(&mut self, ctrl: &mut C) {
+        while let Some(n) = self.notifications.pop_front() {
+            ctrl.on_event(self, n);
+            if ctrl.done() {
+                return;
+            }
+        }
+    }
+
+    // ---- internal mechanics ------------------------------------------------
+
+    fn exp_delay(&mut self, mean_s: f64) -> SimDuration {
+        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        SimDuration::from_secs(-u.ln() * mean_s)
+    }
+
+    fn route_submission(&mut self, id: JobId) {
+        match &self.cfg.latency {
+            LatencyMode::Oracle(model) => {
+                let model = model.clone();
+                let raw = model.sample_latency(&mut self.rng);
+                if raw >= model.threshold_s {
+                    // silently lost: the client only learns via its own timeout
+                    self.jobs[id.0 as usize].state = JobState::Stuck;
+                    self.stats.client_stuck += 1;
+                } else {
+                    self.queue.schedule(
+                        self.now.after(SimDuration::from_secs(raw)),
+                        EventKind::Start(id),
+                    );
+                }
+            }
+            LatencyMode::Resample { latencies, threshold_s } => {
+                let idx = self.rng.gen_range(0..latencies.len());
+                let raw = latencies[idx];
+                if raw >= *threshold_s {
+                    self.jobs[id.0 as usize].state = JobState::Stuck;
+                    self.stats.client_stuck += 1;
+                } else {
+                    self.queue.schedule(
+                        self.now.after(SimDuration::from_secs(raw)),
+                        EventKind::Start(id),
+                    );
+                }
+            }
+            LatencyMode::Pipeline => {
+                if self.rng.gen::<f64>() < self.cfg.faults.p_silent_loss {
+                    self.jobs[id.0 as usize].state = JobState::Stuck;
+                    self.stats.client_stuck += 1;
+                    return;
+                }
+                let d = self.exp_delay(self.cfg.wms.ui_to_wms_mean_s);
+                self.queue.schedule(self.now.after(d), EventKind::ArriveAtWms(id));
+            }
+        }
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::ArriveAtWms(id) => self.on_arrive_at_wms(id),
+            EventKind::Dispatch(id) => self.on_dispatch(id),
+            EventKind::EnterQueue(id) => self.on_enter_queue(id),
+            EventKind::Start(id) => self.on_oracle_start(id),
+            EventKind::Finish(id) => self.on_finish(id),
+            EventKind::Fail(id) => self.on_fail(id),
+            EventKind::CancelApply(id) => self.apply_cancel(id),
+            EventKind::BackgroundArrival { site } => self.on_background_arrival(site),
+            EventKind::Timer { token } => {
+                self.notifications.push_back(Notification::Timer { token, at: self.now });
+            }
+        }
+    }
+
+    fn on_arrive_at_wms(&mut self, id: JobId) {
+        if !self.jobs[id.0 as usize].state.is_pending() {
+            return; // cancelled in flight
+        }
+        self.jobs[id.0 as usize].state = JobState::AtWms;
+        if self.rng.gen::<f64>() < self.cfg.faults.p_transient_failure {
+            let d = self.exp_delay(self.cfg.faults.failure_delay_mean_s);
+            self.queue.schedule(self.now.after(d), EventKind::Fail(id));
+        } else {
+            let d = self.exp_delay(self.cfg.wms.matchmaking_mean_s);
+            self.queue.schedule(self.now.after(d), EventKind::Dispatch(id));
+        }
+    }
+
+    fn select_site(&mut self) -> usize {
+        let stale = match self.cfg.wms.ranking {
+            RankingPolicy::WeightedRandom => true,
+            RankingPolicy::LeastLoaded { stale_prob } => self.rng.gen::<f64>() < stale_prob,
+        };
+        if stale {
+            // weight-proportional random selection
+            let total: f64 = self.cfg.sites.iter().map(|s| s.weight).sum();
+            let mut x = self.rng.gen::<f64>() * total;
+            for (i, s) in self.cfg.sites.iter().enumerate() {
+                x -= s.weight;
+                if x <= 0.0 {
+                    return i;
+                }
+            }
+            self.cfg.sites.len() - 1
+        } else {
+            // least (queue + running) / slots ratio; ties broken by index
+            let mut best = 0usize;
+            let mut best_load = f64::INFINITY;
+            for (i, (sc, st)) in self.cfg.sites.iter().zip(&self.sites).enumerate() {
+                let load = (st.running + st.queue.len()) as f64 / sc.slots as f64;
+                if load < best_load {
+                    best_load = load;
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+
+    fn on_dispatch(&mut self, id: JobId) {
+        if !self.jobs[id.0 as usize].state.is_pending() {
+            return;
+        }
+        let site = self.select_site();
+        self.jobs[id.0 as usize].state = JobState::Matched;
+        self.jobs[id.0 as usize].site = Some(site);
+        let d = self.exp_delay(self.cfg.wms.dispatch_mean_s);
+        self.queue.schedule(self.now.after(d), EventKind::EnterQueue(id));
+    }
+
+    fn on_enter_queue(&mut self, id: JobId) {
+        if !self.jobs[id.0 as usize].state.is_pending() {
+            return;
+        }
+        let site = self.jobs[id.0 as usize].site.expect("matched before queued");
+        self.jobs[id.0 as usize].state = JobState::Queued;
+        self.sites[site].queue.push_back(id);
+        self.try_start_jobs(site);
+    }
+
+    /// Assigns free slots to queued live jobs, skipping cancelled residue.
+    fn try_start_jobs(&mut self, site: usize) {
+        while self.sites[site].running < self.cfg.sites[site].slots {
+            let Some(id) = self.sites[site].queue.pop_front() else { break };
+            if self.jobs[id.0 as usize].state != JobState::Queued {
+                continue; // cancelled while waiting
+            }
+            self.sites[site].running += 1;
+            self.start_job(id);
+        }
+    }
+
+    fn start_job(&mut self, id: JobId) {
+        let rec = &mut self.jobs[id.0 as usize];
+        rec.state = JobState::Running;
+        rec.started_at = Some(self.now);
+        let exec = self.exec_times[id.0 as usize];
+        self.queue.schedule(self.now.after(exec), EventKind::Finish(id));
+        match rec.origin {
+            JobOrigin::Client => {
+                self.stats.client_started += 1;
+                self.notifications
+                    .push_back(Notification::JobStarted { id, at: self.now });
+            }
+            JobOrigin::Background => self.stats.background_started += 1,
+        }
+    }
+
+    fn on_oracle_start(&mut self, id: JobId) {
+        if !self.jobs[id.0 as usize].state.is_pending() {
+            return; // cancelled before its latency elapsed
+        }
+        self.start_job(id);
+    }
+
+    fn on_finish(&mut self, id: JobId) {
+        if self.jobs[id.0 as usize].state != JobState::Running {
+            return;
+        }
+        self.jobs[id.0 as usize].state = JobState::Finished;
+        self.jobs[id.0 as usize].terminated_at = Some(self.now);
+        if let Some(site) = self.jobs[id.0 as usize].site {
+            self.sites[site].running = self.sites[site].running.saturating_sub(1);
+            self.try_start_jobs(site);
+        }
+        if self.jobs[id.0 as usize].origin == JobOrigin::Client {
+            self.notifications
+                .push_back(Notification::JobFinished { id, at: self.now });
+        }
+    }
+
+    fn on_fail(&mut self, id: JobId) {
+        if !self.jobs[id.0 as usize].state.is_pending() {
+            return;
+        }
+        self.jobs[id.0 as usize].state = JobState::Failed;
+        self.jobs[id.0 as usize].terminated_at = Some(self.now);
+        self.stats.client_failed += 1;
+        self.notifications
+            .push_back(Notification::JobFailed { id, at: self.now });
+    }
+
+    fn schedule_next_background_arrival(&mut self) {
+        let Some(bg) = self.cfg.background else { return };
+        let d = self.exp_delay(1.0 / bg.arrival_rate_per_s);
+        // target site chosen at arrival time; store a placeholder here
+        let site = self.pick_background_site();
+        self.queue
+            .schedule(self.now.after(d), EventKind::BackgroundArrival { site });
+    }
+
+    fn pick_background_site(&mut self) -> usize {
+        if self.cfg.sites.is_empty() {
+            return 0;
+        }
+        let total: f64 = self.cfg.sites.iter().map(|s| s.weight).sum();
+        let mut x = self.rng.gen::<f64>() * total;
+        for (i, s) in self.cfg.sites.iter().enumerate() {
+            x -= s.weight;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        self.cfg.sites.len() - 1
+    }
+
+    fn on_background_arrival(&mut self, site: usize) {
+        let Some(bg) = self.cfg.background else { return };
+        if self.cfg.sites.is_empty() {
+            return; // background load is meaningless without topology
+        }
+        // draw a log-normal execution time
+        let ln = LogNormal::from_mean_std(bg.exec_mean_s, bg.exec_cv * bg.exec_mean_s)
+            .expect("validated background config");
+        let z = sample_standard_normal(&mut self.rng);
+        let exec = (ln.mu() + ln.sigma() * z).exp();
+
+        let id = JobId(self.jobs.len() as u64);
+        let mut rec = JobRecord::new(id, JobOrigin::Background, self.now);
+        rec.state = JobState::Queued;
+        rec.site = Some(site);
+        self.jobs.push(rec);
+        self.exec_times.push(SimDuration::from_secs(exec));
+        self.stats.background_submitted += 1;
+        self.sites[site].queue.push_back(id);
+        self.try_start_jobs(site);
+        self.schedule_next_background_arrival();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridstrat_workload::WeekModel;
+
+    fn oracle_model(rho: f64) -> WeekModel {
+        // light body (cv = 0.6) so natural tail censoring is negligible and
+        // every non-outlier probe is guaranteed to start
+        WeekModel::calibrate("t", 500.0, 300.0, rho, 50.0, 10_000.0).unwrap()
+    }
+
+    /// Controller that submits `n` probes at start and records their starts.
+    struct CollectStarts {
+        n: usize,
+        latencies: Vec<f64>,
+        submitted: Vec<JobId>,
+        deadline_tokens: u64,
+    }
+
+    impl CollectStarts {
+        fn new(n: usize) -> Self {
+            CollectStarts { n, latencies: Vec::new(), submitted: Vec::new(), deadline_tokens: 0 }
+        }
+    }
+
+    impl Controller for CollectStarts {
+        fn start(&mut self, sim: &mut GridSimulation) {
+            for _ in 0..self.n {
+                let id = sim.submit();
+                self.submitted.push(id);
+            }
+            // safety timeout so stuck jobs do not hang the run
+            sim.set_timer(SimDuration::from_secs(20_000.0), 0);
+        }
+        fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
+            match ev {
+                Notification::JobStarted { id, at } => {
+                    let lat = at.since(sim.job(id).submitted_at).as_secs();
+                    self.latencies.push(lat);
+                }
+                Notification::Timer { .. } => self.deadline_tokens += 1,
+                _ => {}
+            }
+        }
+        fn done(&self) -> bool {
+            self.latencies.len() == self.n || self.deadline_tokens > 0
+        }
+    }
+
+    #[test]
+    fn oracle_latencies_match_model_mean() {
+        let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.0)), 1).unwrap();
+        let mut ctrl = CollectStarts::new(4000);
+        sim.run_controller(&mut ctrl);
+        assert_eq!(ctrl.latencies.len(), 4000);
+        let mean = ctrl.latencies.iter().sum::<f64>() / 4000.0;
+        assert!((mean - 500.0).abs() < 40.0, "mean {mean}");
+        assert!(ctrl.latencies.iter().all(|&l| l >= 50.0));
+    }
+
+    #[test]
+    fn oracle_outliers_become_stuck() {
+        let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.3)), 2).unwrap();
+        let mut ctrl = CollectStarts::new(2000);
+        sim.run_controller(&mut ctrl);
+        // the run ends via the deadline timer; stuck fraction ≈ 0.3
+        let stuck = sim.stats().client_stuck as f64 / 2000.0;
+        assert!((stuck - 0.3).abs() < 0.05, "stuck fraction {stuck}");
+        assert!(ctrl.deadline_tokens > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed: u64| {
+            let mut sim =
+                GridSimulation::new(GridConfig::oracle(oracle_model(0.1)), seed).unwrap();
+            let mut ctrl = CollectStarts::new(500);
+            sim.run_controller(&mut ctrl);
+            ctrl.latencies
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn cancel_prevents_start() {
+        struct CancelImmediately {
+            started: bool,
+            finished: bool,
+        }
+        impl Controller for CancelImmediately {
+            fn start(&mut self, sim: &mut GridSimulation) {
+                let id = sim.submit();
+                assert!(sim.cancel(id));
+                assert!(!sim.cancel(id)); // double cancel is a no-op
+                sim.set_timer(SimDuration::from_secs(30_000.0), 1);
+            }
+            fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
+                match ev {
+                    Notification::JobStarted { .. } => self.started = true,
+                    Notification::Timer { .. } => self.finished = true,
+                    _ => {}
+                }
+            }
+            fn done(&self) -> bool {
+                self.finished
+            }
+        }
+        let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.0)), 3).unwrap();
+        let mut ctrl = CancelImmediately { started: false, finished: false };
+        sim.run_controller(&mut ctrl);
+        assert!(!ctrl.started, "cancelled job must never start");
+        assert_eq!(sim.stats().client_cancelled, 1);
+        assert_eq!(sim.stats().client_started, 0);
+    }
+
+    #[test]
+    fn slow_cancellation_lets_jobs_start_anyway() {
+        // with a long cancellation delay, an immediately-cancelled job can
+        // still start (the burst-waste mechanism)
+        struct CancelThenWatch {
+            started: bool,
+            timer_done: bool,
+        }
+        impl Controller for CancelThenWatch {
+            fn start(&mut self, sim: &mut GridSimulation) {
+                let id = sim.submit();
+                assert!(sim.cancel(id)); // request accepted…
+                sim.set_timer(SimDuration::from_secs(30_000.0), 1);
+            }
+            fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
+                match ev {
+                    Notification::JobStarted { .. } => self.started = true,
+                    Notification::Timer { .. } => self.timer_done = true,
+                    _ => {}
+                }
+            }
+            fn done(&self) -> bool {
+                self.timer_done
+            }
+        }
+        let mut cfg = GridConfig::oracle(oracle_model(0.0));
+        cfg.wms.cancellation_delay_mean_s = 50_000.0; // far beyond any latency
+        let mut sim = GridSimulation::new(cfg, 21).unwrap();
+        let mut ctrl = CancelThenWatch { started: false, timer_done: false };
+        sim.run_controller(&mut ctrl);
+        assert!(ctrl.started, "job should start before the cancel lands");
+        assert_eq!(sim.stats().client_cancelled, 0);
+    }
+
+    #[test]
+    fn rejects_negative_cancellation_delay() {
+        let mut cfg = GridConfig::oracle(oracle_model(0.0));
+        cfg.wms.cancellation_delay_mean_s = -1.0;
+        assert!(GridSimulation::new(cfg, 1).is_err());
+    }
+
+    #[test]
+    fn pipeline_jobs_start_and_conserve_states() {
+        let mut cfg = GridConfig::pipeline_default();
+        cfg.faults.p_silent_loss = 0.0;
+        cfg.faults.p_transient_failure = 0.0;
+        cfg.background = None;
+        let mut sim = GridSimulation::new(cfg, 4).unwrap();
+        let mut ctrl = CollectStarts::new(200);
+        sim.run_controller(&mut ctrl);
+        assert_eq!(ctrl.latencies.len(), 200);
+        // pipeline latency = three exponential hops; mean ≈ 15+45+30 = 90
+        let mean = ctrl.latencies.iter().sum::<f64>() / 200.0;
+        assert!(mean > 40.0 && mean < 200.0, "pipeline mean {mean}");
+    }
+
+    #[test]
+    fn pipeline_faults_surface_or_stick() {
+        let mut cfg = GridConfig::pipeline_default();
+        cfg.faults.p_silent_loss = 0.5;
+        cfg.faults.p_transient_failure = 0.5;
+        cfg.background = None;
+
+        struct CountTerminal {
+            failed: u64,
+            started: u64,
+            timer: bool,
+        }
+        impl Controller for CountTerminal {
+            fn start(&mut self, sim: &mut GridSimulation) {
+                for _ in 0..400 {
+                    sim.submit();
+                }
+                sim.set_timer(SimDuration::from_secs(100_000.0), 9);
+            }
+            fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
+                match ev {
+                    Notification::JobFailed { .. } => self.failed += 1,
+                    Notification::JobStarted { .. } => self.started += 1,
+                    Notification::Timer { .. } => self.timer = true,
+                    _ => {}
+                }
+            }
+            fn done(&self) -> bool {
+                self.timer
+            }
+        }
+        let mut sim = GridSimulation::new(cfg, 5).unwrap();
+        let mut ctrl = CountTerminal { failed: 0, started: 0, timer: false };
+        sim.run_controller(&mut ctrl);
+        let stats = sim.stats();
+        assert_eq!(stats.client_submitted, 400);
+        // every job is accounted for exactly once
+        assert_eq!(
+            stats.client_started + stats.client_failed + stats.client_stuck,
+            400
+        );
+        assert!((stats.client_stuck as f64 / 400.0 - 0.5).abs() < 0.1);
+        // of the survivors, about half fail transiently
+        let survivors = 400 - stats.client_stuck;
+        assert!((stats.client_failed as f64 / survivors as f64 - 0.5).abs() < 0.12);
+        assert_eq!(ctrl.failed, stats.client_failed);
+    }
+
+    #[test]
+    fn background_load_creates_queueing() {
+        let mut cfg = GridConfig::pipeline_default();
+        cfg.faults.p_silent_loss = 0.0;
+        cfg.faults.p_transient_failure = 0.0;
+        // saturate: tiny farm, heavy arrivals
+        cfg.sites = vec![crate::config::SiteConfig {
+            name: "tiny".into(),
+            slots: 2,
+            weight: 1.0,
+        }];
+        cfg.background = Some(crate::config::BackgroundLoadConfig {
+            arrival_rate_per_s: 0.05,
+            exec_mean_s: 600.0,
+            exec_cv: 1.0,
+        });
+        let mut sim = GridSimulation::new(cfg, 6).unwrap();
+        let mut ctrl = CollectStarts::new(50);
+        sim.run_controller(&mut ctrl);
+        assert!(sim.stats().background_submitted > 0);
+        // queueing behind background work pushes latency well above the
+        // pure hop delays (~90 s)
+        let mean = ctrl.latencies.iter().sum::<f64>() / ctrl.latencies.len() as f64;
+        assert!(mean > 150.0, "expected congestion, mean {mean}");
+    }
+
+    #[test]
+    fn horizon_stops_runaway_runs() {
+        let mut cfg = GridConfig::pipeline_default();
+        cfg.horizon = SimDuration::from_secs(100.0);
+        let mut sim = GridSimulation::new(cfg, 7).unwrap();
+        // controller that never finishes on its own
+        struct Never;
+        impl Controller for Never {
+            fn start(&mut self, sim: &mut GridSimulation) {
+                sim.submit();
+            }
+            fn on_event(&mut self, _: &mut GridSimulation, _: Notification) {}
+            fn done(&self) -> bool {
+                false
+            }
+        }
+        sim.run_controller(&mut Never);
+        assert!(sim.now().as_secs() <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn job_records_are_audit_complete() {
+        let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.0)), 8).unwrap();
+        let mut ctrl = CollectStarts::new(50);
+        sim.run_controller(&mut ctrl);
+        for rec in sim.jobs() {
+            // the run stops the instant the last start is observed, so its
+            // same-instant Finish event may be left unprocessed
+            assert!(
+                rec.state == JobState::Finished || rec.state == JobState::Running,
+                "unexpected state {:?}",
+                rec.state
+            );
+            let started = rec.started_at.unwrap();
+            assert!(started >= rec.submitted_at);
+            if rec.state == JobState::Finished {
+                assert_eq!(rec.terminated_at.unwrap(), started); // zero exec time
+            }
+        }
+    }
+}

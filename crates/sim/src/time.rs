@@ -1,0 +1,150 @@
+//! Simulation time.
+//!
+//! Millisecond-resolution unsigned time gives a total order with exact
+//! equality (no float comparison hazards inside the event queue) while
+//! keeping sub-second precision — grid latencies are hundreds of seconds,
+//! so quantisation error is ~10⁻⁶ relative, far below sampling noise.
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute simulation instant, in milliseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A non-negative span of simulation time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from seconds, rounding to the nearest millisecond and
+    /// saturating at the representable maximum.
+    pub fn from_secs(s: f64) -> SimTime {
+        SimTime(secs_to_ms(s))
+    }
+
+    /// This instant in (fractional) seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Instant `d` later.
+    #[must_use]
+    pub fn after(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Span from `earlier` to `self`; panics if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "time went backwards: {:?} since {:?}",
+            self,
+            earlier
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs from seconds, rounding to the nearest millisecond.
+    pub fn from_secs(s: f64) -> SimDuration {
+        SimDuration(secs_to_ms(s))
+    }
+
+    /// The span in (fractional) seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+}
+
+fn secs_to_ms(s: f64) -> u64 {
+    assert!(!s.is_nan(), "time cannot be NaN");
+    assert!(s >= 0.0, "time cannot be negative: {s}");
+    let ms = (s * 1e3).round();
+    if ms >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ms as u64
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.0 as f64 / 1e3)
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.0 as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let t = SimTime::from_secs(123.456);
+        assert_eq!(t.0, 123_456);
+        assert!((t.as_secs() - 123.456).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounding_to_ms() {
+        assert_eq!(SimTime::from_secs(0.0004).0, 0);
+        assert_eq!(SimTime::from_secs(0.0006).0, 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10.0);
+        let d = SimDuration::from_secs(2.5);
+        assert_eq!(t.after(d), SimTime::from_secs(12.5));
+        assert_eq!(t.after(d).since(t), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_rejects_reversed() {
+        SimTime::from_secs(1.0).since(SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn rejects_negative() {
+        SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn saturation() {
+        let t = SimTime(u64::MAX - 1);
+        assert_eq!(t.after(SimDuration(100)), SimTime(u64::MAX));
+        assert_eq!(SimTime::from_secs(f64::INFINITY).0, u64::MAX);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_secs(0.25).to_string(), "0.250s");
+    }
+}

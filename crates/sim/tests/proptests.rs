@@ -1,0 +1,187 @@
+//! Property-based tests for the discrete-event engine: conservation laws,
+//! cancellation semantics and determinism under randomized configurations.
+
+use gridstrat_sim::{
+    BackgroundLoadConfig, Controller, FaultConfig, GridConfig, GridSimulation, JobState,
+    Notification, ProbeHarness, SimDuration,
+};
+use gridstrat_workload::WeekModel;
+use proptest::prelude::*;
+
+/// A controller that fires a fixed batch and watches until a deadline.
+struct Batch {
+    n: usize,
+    started: usize,
+    failed: usize,
+    deadline: bool,
+}
+
+impl Controller for Batch {
+    fn start(&mut self, sim: &mut GridSimulation) {
+        for _ in 0..self.n {
+            sim.submit();
+        }
+        sim.set_timer(SimDuration::from_secs(60_000.0), 0);
+    }
+    fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
+        match ev {
+            Notification::JobStarted { .. } => self.started += 1,
+            Notification::JobFailed { .. } => self.failed += 1,
+            Notification::Timer { .. } => self.deadline = true,
+            _ => {}
+        }
+    }
+    fn done(&self) -> bool {
+        self.deadline
+    }
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultConfig> {
+    (0.0f64..0.6, 0.0f64..0.5, 10.0f64..500.0).prop_map(|(loss, fail, delay)| FaultConfig {
+        p_silent_loss: loss,
+        p_transient_failure: fail,
+        failure_delay_mean_s: delay,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_job_reaches_exactly_one_account(
+        seed in 0u64..1000,
+        n in 1usize..120,
+        faults in arb_faults(),
+    ) {
+        let mut cfg = GridConfig::pipeline_default();
+        cfg.background = None;
+        cfg.faults = faults;
+        let mut sim = GridSimulation::new(cfg, seed).unwrap();
+        let mut ctrl = Batch { n, started: 0, failed: 0, deadline: false };
+        sim.run_controller(&mut ctrl);
+        let stats = sim.stats();
+        prop_assert_eq!(stats.client_submitted, n as u64);
+        prop_assert_eq!(
+            stats.client_started + stats.client_failed + stats.client_stuck,
+            n as u64
+        );
+        prop_assert_eq!(stats.client_started, ctrl.started as u64);
+        prop_assert_eq!(stats.client_failed, ctrl.failed as u64);
+    }
+
+    #[test]
+    fn started_jobs_have_consistent_records(seed in 0u64..500, n in 1usize..60) {
+        let model = WeekModel::calibrate("p", 400.0, 300.0, 0.1, 50.0, 10_000.0).unwrap();
+        let mut sim = GridSimulation::new(GridConfig::oracle(model), seed).unwrap();
+        let mut ctrl = Batch { n, started: 0, failed: 0, deadline: false };
+        sim.run_controller(&mut ctrl);
+        for rec in sim.jobs() {
+            match rec.state {
+                JobState::Running | JobState::Finished => {
+                    let started = rec.started_at.expect("running jobs have a start");
+                    prop_assert!(started >= rec.submitted_at);
+                    // oracle latency respects the 50 s shift
+                    prop_assert!(started.since(rec.submitted_at).as_secs() >= 50.0 - 1e-6);
+                }
+                JobState::Stuck => prop_assert!(rec.started_at.is_none()),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seeds_identical_histories(seed in 0u64..500, n in 1usize..50) {
+        let run = |seed: u64| {
+            let model = WeekModel::calibrate("p", 400.0, 300.0, 0.2, 50.0, 10_000.0).unwrap();
+            let mut sim = GridSimulation::new(GridConfig::oracle(model), seed).unwrap();
+            let mut ctrl = Batch { n, started: 0, failed: 0, deadline: false };
+            sim.run_controller(&mut ctrl);
+            sim.jobs()
+                .iter()
+                .map(|r| (r.state, r.started_at, r.terminated_at))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn probe_harness_always_hits_target(
+        seed in 0u64..300,
+        target in 1usize..200,
+        in_flight in 1usize..40,
+        rho in 0.0f64..0.6,
+    ) {
+        let model = WeekModel::calibrate("p", 400.0, 300.0, rho, 50.0, 10_000.0).unwrap();
+        let mut sim = GridSimulation::new(GridConfig::oracle(model), seed).unwrap();
+        let mut harness = ProbeHarness::new("prop", target, in_flight, 10_000.0);
+        sim.run_controller(&mut harness);
+        let trace = harness.into_trace();
+        prop_assert_eq!(trace.len(), target);
+        // submission order, consistent statuses
+        for w in trace.records.windows(2) {
+            prop_assert!(w[0].submitted_at <= w[1].submitted_at);
+        }
+        for r in &trace.records {
+            if r.is_outlier() {
+                prop_assert_eq!(r.latency_s, 10_000.0);
+            } else {
+                prop_assert!(r.latency_s < 10_000.0);
+            }
+        }
+    }
+
+    #[test]
+    fn background_load_never_blocks_termination(
+        seed in 0u64..200,
+        rate in 0.001f64..0.3,
+        exec in 100.0f64..3_000.0,
+    ) {
+        let mut cfg = GridConfig::pipeline_default();
+        cfg.background = Some(BackgroundLoadConfig {
+            arrival_rate_per_s: rate,
+            exec_mean_s: exec,
+            exec_cv: 1.0,
+        });
+        cfg.horizon = SimDuration::from_secs(50_000.0);
+        let mut sim = GridSimulation::new(cfg, seed).unwrap();
+        let mut ctrl = Batch { n: 5, started: 0, failed: 0, deadline: false };
+        sim.run_controller(&mut ctrl);
+        // the run always ends (deadline timer or horizon), never hangs
+        prop_assert!(sim.now().as_secs() <= 60_000.0 + 1e-6);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_final(seed in 0u64..300) {
+        struct CancelTwice {
+            outcome: Option<(bool, bool)>,
+            done: bool,
+        }
+        impl Controller for CancelTwice {
+            fn start(&mut self, sim: &mut GridSimulation) {
+                let id = sim.submit();
+                let first = sim.cancel(id);
+                let second = sim.cancel(id);
+                self.outcome = Some((first, second));
+                sim.set_timer(SimDuration::from_secs(20_000.0), 0);
+            }
+            fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
+                match ev {
+                    Notification::JobStarted { .. } => {
+                        panic!("cancelled job must not start under zero cancel delay")
+                    }
+                    Notification::Timer { .. } => self.done = true,
+                    _ => {}
+                }
+            }
+            fn done(&self) -> bool {
+                self.done
+            }
+        }
+        let model = WeekModel::calibrate("p", 400.0, 300.0, 0.0, 50.0, 10_000.0).unwrap();
+        let mut sim = GridSimulation::new(GridConfig::oracle(model), seed).unwrap();
+        let mut ctrl = CancelTwice { outcome: None, done: false };
+        sim.run_controller(&mut ctrl);
+        prop_assert_eq!(ctrl.outcome, Some((true, false)));
+        prop_assert_eq!(sim.stats().client_cancelled, 1);
+    }
+}

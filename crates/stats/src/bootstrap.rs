@@ -1,0 +1,173 @@
+//! Nonparametric bootstrap for trace-derived estimates.
+//!
+//! The paper's per-week quantities (optimal timeouts, `E_J`, `∆cost`) are
+//! point estimates from ~900 probes of a heavy-tailed law — their sampling
+//! error is substantial and never quantified in the paper. This module
+//! provides the standard resampling machinery to attach percentile
+//! confidence intervals to any statistic of a censored latency sample.
+
+use crate::rng::derived_rng;
+use rand::Rng;
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Nominal coverage level (e.g. 0.95).
+    pub level: f64,
+    /// Number of bootstrap replicates used.
+    pub replicates: usize,
+}
+
+impl ConfidenceInterval {
+    /// Interval half-width relative to the estimate (readability helper).
+    pub fn relative_halfwidth(&self) -> f64 {
+        0.5 * (self.hi - self.lo) / self.estimate.abs().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Percentile bootstrap of an arbitrary statistic of a sample.
+///
+/// Draws `replicates` resamples (with replacement, equal size) from
+/// `samples`, evaluates `statistic` on each, and returns the empirical
+/// `[(1-level)/2, 1-(1-level)/2]` percentile interval together with the
+/// point estimate on the original data. Deterministic in `seed`.
+///
+/// Replicates where the statistic is non-finite (e.g. a resample happened
+/// to contain only censored values) are dropped; at least two finite
+/// replicates are required.
+pub fn bootstrap_ci<F>(
+    samples: &[f64],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!samples.is_empty(), "cannot bootstrap an empty sample");
+    assert!(replicates >= 10, "need at least 10 replicates");
+    assert!((0.5..1.0).contains(&level), "level must be in [0.5, 1)");
+
+    let estimate = statistic(samples);
+    let n = samples.len();
+    let mut stats: Vec<f64> = Vec::with_capacity(replicates);
+    let mut resample = vec![0.0f64; n];
+    for rep in 0..replicates {
+        let mut rng = derived_rng(seed, rep as u64);
+        for slot in resample.iter_mut() {
+            *slot = samples[rng.gen_range(0..n)];
+        }
+        let v = statistic(&resample);
+        if v.is_finite() {
+            stats.push(v);
+        }
+    }
+    assert!(
+        stats.len() >= 2,
+        "statistic was non-finite on almost every bootstrap replicate"
+    );
+    stats.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let pick = |p: f64| {
+        let idx = ((p * stats.len() as f64).floor() as usize).min(stats.len() - 1);
+        stats[idx]
+    };
+    ConfidenceInterval {
+        estimate,
+        lo: pick(alpha),
+        hi: pick(1.0 - alpha),
+        level,
+        replicates: stats.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, LogNormal};
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn mean_interval_brackets_truth_most_of_the_time() {
+        // 20 independent datasets: the 95% CI for the mean should cover the
+        // true mean in a clear majority (binomial(20, .95) ⇒ ≥ 16 w.h.p.)
+        let truth = LogNormal::from_mean_std(500.0, 600.0).unwrap();
+        let mut covered = 0;
+        for ds in 0..20u64 {
+            let mut rng = crate::rng::derived_rng(100 + ds, 0);
+            let xs = truth.sample_n(&mut rng, 800);
+            let ci = bootstrap_ci(&xs, mean, 400, 0.95, 1000 + ds);
+            if ci.lo <= 500.0 && 500.0 <= ci.hi {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 15, "coverage too low: {covered}/20");
+    }
+
+    #[test]
+    fn interval_is_ordered_and_contains_plausible_mass() {
+        let truth = LogNormal::from_mean_std(400.0, 500.0).unwrap();
+        let mut rng = crate::rng::derived_rng(7, 0);
+        let xs = truth.sample_n(&mut rng, 500);
+        let ci = bootstrap_ci(&xs, mean, 300, 0.9, 42);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.relative_halfwidth() > 0.0 && ci.relative_halfwidth() < 0.5);
+        assert_eq!(ci.replicates, 300);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let xs: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&xs, mean, 100, 0.95, 9);
+        let b = bootstrap_ci(&xs, mean, 100, 0.95, 9);
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&xs, mean, 100, 0.95, 10);
+        assert_ne!(a.lo.to_bits(), c.lo.to_bits());
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let xs: Vec<f64> = (1..=300).map(|i| (i as f64).sqrt() * 10.0).collect();
+        let ci90 = bootstrap_ci(&xs, mean, 400, 0.90, 5);
+        let ci99 = bootstrap_ci(&xs, mean, 400, 0.99, 5);
+        assert!(ci99.hi - ci99.lo >= ci90.hi - ci90.lo);
+    }
+
+    #[test]
+    fn drops_nonfinite_replicates() {
+        // statistic that is infinite whenever the resample misses value 1.0
+        let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let stat = |s: &[f64]| {
+            if s.contains(&1.0) {
+                mean(s)
+            } else {
+                f64::INFINITY
+            }
+        };
+        let ci = bootstrap_ci(&xs, stat, 200, 0.9, 3);
+        assert!(ci.replicates < 200 && ci.replicates > 50);
+        assert!(ci.lo.is_finite() && ci.hi.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty() {
+        bootstrap_ci(&[], mean, 100, 0.95, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be")]
+    fn rejects_bad_level() {
+        bootstrap_ci(&[1.0, 2.0], mean, 100, 1.5, 0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Empirical (defective) cumulative distribution functions.
+//!
+//! The paper observes job latencies censored at a timeout `T = 10 000 s`:
+//! jobs that have not started by `T` are *outliers* (ratio `ρ`). The
+//! quantity driving every strategy model is the **defective CDF**
+//!
+//! ```text
+//! F̃_R(t) = (1 - ρ)·F_R(t) = P(R ≤ t)   (over ALL submitted jobs)
+//! ```
+//!
+//! which converges to `1 - ρ < 1` — it is *not* a proper CDF, and the
+//! strategy equations use it directly. [`Ecdf`] stores the sorted non-outlier
+//! samples together with the total submission count and provides
+//!
+//! * O(log n) point queries `F̃(t)`,
+//! * **exact** prefix-sum accelerated integrals
+//!   `A(t) = ∫₀ᵗ (1-F̃(u)) du` and `B(t) = ∫₀ᵗ u·(1-F̃(u)) du`
+//!   (the building blocks of the paper's eqs. 1–4), and
+//! * exact product integrals over shifted survival functions (eq. 5).
+
+use crate::stepfn::StepFn;
+
+/// Empirical defective CDF of a censored latency sample.
+///
+/// Built from raw latency measurements with a censoring threshold: samples
+/// `≥ threshold` are counted as outliers (they contribute to the total count
+/// `n_total` but never to `F̃`).
+///
+/// # Examples
+///
+/// ```
+/// use gridstrat_stats::Ecdf;
+/// // 3 normal jobs + 1 outlier (censored at 100)
+/// let e = Ecdf::from_samples(&[10.0, 20.0, 30.0, 5000.0], 100.0).unwrap();
+/// assert_eq!(e.n_total(), 4);
+/// assert_eq!(e.n_body(), 3);
+/// assert!((e.outlier_ratio() - 0.25).abs() < 1e-12);
+/// assert!((e.value(20.0) - 0.5).abs() < 1e-12);   // 2 of 4 jobs ≤ 20
+/// assert!((e.value(1e9) - 0.75).abs() < 1e-12);   // converges to 1-ρ
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    /// Sorted non-outlier samples.
+    xs: Vec<f64>,
+    /// Total number of submissions (body + outliers).
+    n_total: usize,
+    /// Censoring threshold used at construction.
+    threshold: f64,
+    /// prefix_a[j] = ∫₀^{xs[j-1]} (1 - F̃(u)) du ; prefix_a[0] = 0.
+    prefix_a: Vec<f64>,
+    /// prefix_b[j] = ∫₀^{xs[j-1]} u·(1 - F̃(u)) du ; prefix_b[0] = 0.
+    prefix_b: Vec<f64>,
+}
+
+/// Error constructing an [`Ecdf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcdfError {
+    /// No samples were provided.
+    Empty,
+    /// All samples were outliers: `F̃` would be identically zero and every
+    /// strategy expectation diverges.
+    AllOutliers,
+    /// A sample was negative or non-finite.
+    InvalidSample,
+}
+
+impl std::fmt::Display for EcdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcdfError::Empty => write!(f, "cannot build an ECDF from zero samples"),
+            EcdfError::AllOutliers => write!(f, "all samples are censored outliers"),
+            EcdfError::InvalidSample => write!(f, "samples must be finite and non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for EcdfError {}
+
+impl Ecdf {
+    /// Builds the defective ECDF from raw latencies; samples `≥ threshold`
+    /// are treated as outliers.
+    pub fn from_samples(samples: &[f64], threshold: f64) -> Result<Self, EcdfError> {
+        if samples.is_empty() {
+            return Err(EcdfError::Empty);
+        }
+        if samples.iter().any(|&x| !x.is_finite() || x < 0.0) {
+            return Err(EcdfError::InvalidSample);
+        }
+        let mut xs: Vec<f64> = samples.iter().copied().filter(|&x| x < threshold).collect();
+        if xs.is_empty() {
+            return Err(EcdfError::AllOutliers);
+        }
+        xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Ok(Self::from_sorted_body(xs, samples.len(), threshold))
+    }
+
+    /// Builds from an already-sorted body sample plus an explicit count of
+    /// censored outliers (useful when outlier latencies were never observed,
+    /// only counted — exactly the situation of the paper's probe harness).
+    pub fn from_sorted_body_and_outliers(
+        body_sorted: Vec<f64>,
+        n_outliers: usize,
+        threshold: f64,
+    ) -> Result<Self, EcdfError> {
+        if body_sorted.is_empty() {
+            return if n_outliers == 0 {
+                Err(EcdfError::Empty)
+            } else {
+                Err(EcdfError::AllOutliers)
+            };
+        }
+        if body_sorted
+            .iter()
+            .any(|&x| !x.is_finite() || x < 0.0 || x >= threshold)
+            || body_sorted.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(EcdfError::InvalidSample);
+        }
+        let n_total = body_sorted.len() + n_outliers;
+        Ok(Self::from_sorted_body(body_sorted, n_total, threshold))
+    }
+
+    fn from_sorted_body(xs: Vec<f64>, n_total: usize, threshold: f64) -> Self {
+        let n = n_total as f64;
+        let m = xs.len();
+        let mut prefix_a = Vec::with_capacity(m + 1);
+        let mut prefix_b = Vec::with_capacity(m + 1);
+        prefix_a.push(0.0);
+        prefix_b.push(0.0);
+        let mut a = 0.0;
+        let mut b = 0.0;
+        let mut lo = 0.0;
+        for (j, &x) in xs.iter().enumerate() {
+            // on [lo, x): F̃ = j/n  =>  1-F̃ = 1 - j/n
+            let s = 1.0 - j as f64 / n;
+            a += s * (x - lo);
+            b += s * 0.5 * (x * x - lo * lo);
+            prefix_a.push(a);
+            prefix_b.push(b);
+            lo = x;
+        }
+        Ecdf { xs, n_total, threshold, prefix_a, prefix_b }
+    }
+
+    /// Total number of submissions (body + outliers).
+    pub fn n_total(&self) -> usize {
+        self.n_total
+    }
+
+    /// Number of non-outlier samples.
+    pub fn n_body(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Censoring threshold used at construction.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Observed outlier (fault) ratio `ρ`.
+    pub fn outlier_ratio(&self) -> f64 {
+        (self.n_total - self.xs.len()) as f64 / self.n_total as f64
+    }
+
+    /// Sorted non-outlier samples.
+    pub fn body(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// `F̃(t) = P(R ≤ t)` over all submissions (defective: sup = 1-ρ).
+    pub fn value(&self, t: f64) -> f64 {
+        let j = self.xs.partition_point(|&x| x <= t);
+        j as f64 / self.n_total as f64
+    }
+
+    /// Proper conditional CDF `F_R(t) = F̃(t)/(1-ρ)` of non-outlier latency.
+    pub fn conditional_value(&self, t: f64) -> f64 {
+        let j = self.xs.partition_point(|&x| x <= t);
+        j as f64 / self.xs.len() as f64
+    }
+
+    /// Exact `A(t) = ∫₀ᵗ (1 - F̃(u)) du` in O(log n).
+    pub fn survival_integral(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let j = self.xs.partition_point(|&x| x <= t);
+        let lo = if j == 0 { 0.0 } else { self.xs[j - 1] };
+        let s = 1.0 - j as f64 / self.n_total as f64;
+        self.prefix_a[j] + s * (t - lo)
+    }
+
+    /// Exact `B(t) = ∫₀ᵗ u·(1 - F̃(u)) du` in O(log n).
+    pub fn moment_survival_integral(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let j = self.xs.partition_point(|&x| x <= t);
+        let lo = if j == 0 { 0.0 } else { self.xs[j - 1] };
+        let s = 1.0 - j as f64 / self.n_total as f64;
+        self.prefix_b[j] + s * 0.5 * (t * t - lo * lo)
+    }
+
+    /// Exact product integrals over shifted survival functions:
+    ///
+    /// ```text
+    /// C0 = ∫₀^L (1-F̃(u+shift))·(1-F̃(u)) du
+    /// D0 = ∫₀^L u·(1-F̃(u+shift))·(1-F̃(u)) du
+    /// ```
+    ///
+    /// These are the kernels of the delayed-resubmission expectation
+    /// (paper eq. 5, survival form) with `shift = t0`, `L = t∞ - t0`.
+    /// Exactness: the integrand is a step function whose breakpoints are
+    /// sample values and sample values minus `shift`; we integrate piecewise.
+    pub fn survival_product_integrals(&self, shift: f64, l: f64) -> (f64, f64) {
+        if l <= 0.0 {
+            return (0.0, 0.0);
+        }
+        // breakpoints of (1-F̃(u))·(1-F̃(u+shift)) inside (0, l)
+        let mut brs: Vec<f64> = Vec::new();
+        let start = self.xs.partition_point(|&x| x <= 0.0);
+        let end = self.xs.partition_point(|&x| x < l);
+        brs.extend_from_slice(&self.xs[start..end]);
+        let start_s = self.xs.partition_point(|&x| x <= shift);
+        let end_s = self.xs.partition_point(|&x| x < shift + l);
+        brs.extend(self.xs[start_s..end_s].iter().map(|&x| x - shift));
+        brs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        brs.dedup();
+
+        let n = self.n_total as f64;
+        let mut c0 = 0.0;
+        let mut d0 = 0.0;
+        let mut lo = 0.0;
+        let mut idx = 0usize;
+        while lo < l {
+            let hi = if idx < brs.len() { brs[idx].min(l) } else { l };
+            if hi > lo {
+                // Both factors are constant on [lo, hi); evaluate at the
+                // midpoint. The left edge would be wrong in floating point:
+                // a breakpoint stored as x - shift does not round-trip
+                // (lo + shift can land strictly below x), flipping the
+                // sample-count on exactly the interval where it matters.
+                let mid = 0.5 * (lo + hi);
+                let j1 = self.xs.partition_point(|&x| x <= mid);
+                let j2 = self.xs.partition_point(|&x| x <= mid + shift);
+                let v = (1.0 - j1 as f64 / n) * (1.0 - j2 as f64 / n);
+                c0 += v * (hi - lo);
+                d0 += v * 0.5 * (hi * hi - lo * lo);
+            }
+            lo = hi;
+            idx += 1;
+        }
+        (c0, d0)
+    }
+
+    /// Empirical quantile of the *non-outlier* body at level `p ∈ [0, 1]`
+    /// (lower empirical quantile).
+    pub fn body_quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let m = self.xs.len();
+        let idx = ((p * m as f64).ceil() as usize).clamp(1, m) - 1;
+        self.xs[idx]
+    }
+
+    /// Mean of the non-outlier body (the paper's “mean < 10⁵” column).
+    pub fn body_mean(&self) -> f64 {
+        self.xs.iter().sum::<f64>() / self.xs.len() as f64
+    }
+
+    /// Standard deviation (population) of the non-outlier body (`σ_R`).
+    pub fn body_std(&self) -> f64 {
+        let m = self.body_mean();
+        (self.xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / self.xs.len() as f64).sqrt()
+    }
+
+    /// Lower bound of the uncensored mean: outliers counted at the threshold
+    /// (the paper's “mean with 10⁵” column).
+    pub fn censored_mean_lower_bound(&self) -> f64 {
+        let body_sum: f64 = self.xs.iter().sum();
+        let outliers = (self.n_total - self.xs.len()) as f64;
+        (body_sum + outliers * self.threshold) / self.n_total as f64
+    }
+
+    /// Materialises `F̃` as a [`StepFn`] (breakpoints at distinct samples).
+    pub fn to_stepfn(&self) -> StepFn {
+        let n = self.n_total as f64;
+        let mut breaks = Vec::with_capacity(self.xs.len());
+        let mut values = Vec::with_capacity(self.xs.len() + 1);
+        values.push(0.0);
+        let mut i = 0;
+        while i < self.xs.len() {
+            let x = self.xs[i];
+            // advance over duplicates
+            let mut j = i + 1;
+            while j < self.xs.len() && self.xs[j] == x {
+                j += 1;
+            }
+            breaks.push(x);
+            values.push(j as f64 / n);
+            i = j;
+        }
+        StepFn::new(breaks, values).expect("sorted distinct breakpoints")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecdf4() -> Ecdf {
+        // body 1,2,3 + one outlier; threshold 100
+        Ecdf::from_samples(&[1.0, 2.0, 3.0, 500.0], 100.0).unwrap()
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(Ecdf::from_samples(&[], 10.0).unwrap_err(), EcdfError::Empty);
+        assert_eq!(
+            Ecdf::from_samples(&[20.0, 30.0], 10.0).unwrap_err(),
+            EcdfError::AllOutliers
+        );
+        assert_eq!(
+            Ecdf::from_samples(&[-1.0], 10.0).unwrap_err(),
+            EcdfError::InvalidSample
+        );
+        assert_eq!(
+            Ecdf::from_samples(&[f64::INFINITY], 10.0).unwrap_err(),
+            EcdfError::InvalidSample
+        );
+    }
+
+    #[test]
+    fn from_sorted_body_and_outliers_matches_from_samples() {
+        let a = ecdf4();
+        let b = Ecdf::from_sorted_body_and_outliers(vec![1.0, 2.0, 3.0], 1, 100.0).unwrap();
+        assert_eq!(a.n_total(), b.n_total());
+        for t in [0.0, 0.5, 1.0, 2.5, 50.0, 1e6] {
+            assert_eq!(a.value(t), b.value(t));
+        }
+        assert_eq!(a.survival_integral(10.0), b.survival_integral(10.0));
+    }
+
+    #[test]
+    fn from_sorted_rejects_unsorted_or_censored_body() {
+        assert!(Ecdf::from_sorted_body_and_outliers(vec![2.0, 1.0], 0, 10.0).is_err());
+        assert!(Ecdf::from_sorted_body_and_outliers(vec![1.0, 20.0], 0, 10.0).is_err());
+        assert!(Ecdf::from_sorted_body_and_outliers(vec![], 3, 10.0).is_err());
+    }
+
+    #[test]
+    fn defective_cdf_values() {
+        let e = ecdf4();
+        assert_eq!(e.value(0.5), 0.0);
+        assert_eq!(e.value(1.0), 0.25);
+        assert_eq!(e.value(2.9), 0.5);
+        assert_eq!(e.value(3.0), 0.75);
+        assert_eq!(e.value(1e9), 0.75); // defective: sup = 1-ρ
+        assert_eq!(e.conditional_value(1e9), 1.0);
+        assert!((e.outlier_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_integral_exact() {
+        let e = ecdf4();
+        // 1-F̃: 1 on [0,1), .75 on [1,2), .5 on [2,3), .25 after
+        // A(2.5) = 1 + 0.75 + 0.5*0.5 = 2.0
+        assert!((e.survival_integral(2.5) - 2.0).abs() < 1e-12);
+        // A(4) = 1 + .75 + .5 + .25 = 2.5
+        assert!((e.survival_integral(4.0) - 2.5).abs() < 1e-12);
+        assert_eq!(e.survival_integral(0.0), 0.0);
+        assert_eq!(e.survival_integral(-5.0), 0.0);
+    }
+
+    #[test]
+    fn survival_integral_matches_stepfn() {
+        let e = ecdf4();
+        let s = e.to_stepfn().map(|v| 1.0 - v);
+        for t in [0.3, 1.0, 1.5, 2.0, 3.3, 10.0, 123.0] {
+            assert!(
+                (e.survival_integral(t) - s.integral(0.0, t)).abs() < 1e-10,
+                "A({t}) mismatch"
+            );
+            assert!(
+                (e.moment_survival_integral(t) - s.moment_integral(0.0, t)).abs() < 1e-10,
+                "B({t}) mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn moment_survival_integral_exact() {
+        let e = ecdf4();
+        // B(2) = ∫₀¹ u du + ∫₁² 0.75 u du = 0.5 + 0.75*1.5 = 1.625
+        assert!((e.moment_survival_integral(2.0) - 1.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_integrals_match_stepfn_product() {
+        let e = Ecdf::from_samples(&[1.0, 2.0, 3.0, 5.0, 8.0, 500.0], 100.0).unwrap();
+        let surv = e.to_stepfn().map(|v| 1.0 - v);
+        for (shift, l) in [(1.5, 2.0), (0.5, 4.0), (3.0, 3.0), (2.0, 0.0)] {
+            let shifted = surv.shift(-shift);
+            let prod = shifted.product(&surv);
+            let want_c = prod.integral(0.0, l);
+            let want_d = prod.moment_integral(0.0, l);
+            let (c0, d0) = e.survival_product_integrals(shift, l);
+            assert!((c0 - want_c).abs() < 1e-10, "C0 mismatch shift={shift} l={l}");
+            assert!((d0 - want_d).abs() < 1e-10, "D0 mismatch shift={shift} l={l}");
+        }
+    }
+
+    #[test]
+    fn duplicate_samples_handled() {
+        let e = Ecdf::from_samples(&[2.0, 2.0, 2.0, 4.0], 100.0).unwrap();
+        assert_eq!(e.value(2.0), 0.75);
+        assert_eq!(e.value(1.9), 0.0);
+        // A(3) = 1*2 + 0.25*1 = 2.25
+        assert!((e.survival_integral(3.0) - 2.25).abs() < 1e-12);
+        let s = e.to_stepfn();
+        assert_eq!(s.breaks().len(), 2); // dedup'd breakpoints
+    }
+
+    #[test]
+    fn body_statistics() {
+        let e = ecdf4();
+        assert!((e.body_mean() - 2.0).abs() < 1e-12);
+        assert!((e.body_std() - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // censored mean bound: (1+2+3+100)/4
+        assert!((e.censored_mean_lower_bound() - 26.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::from_samples(&[10.0, 20.0, 30.0, 40.0], 100.0).unwrap();
+        assert_eq!(e.body_quantile(0.0), 10.0);
+        assert_eq!(e.body_quantile(0.25), 10.0);
+        assert_eq!(e.body_quantile(0.5), 20.0);
+        assert_eq!(e.body_quantile(0.75), 30.0);
+        assert_eq!(e.body_quantile(1.0), 40.0);
+    }
+}

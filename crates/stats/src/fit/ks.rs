@@ -1,0 +1,100 @@
+//! Kolmogorov–Smirnov goodness-of-fit machinery.
+
+use crate::dist::Distribution;
+
+/// One-sample KS statistic `D_n = sup_t |F_n(t) - F(t)|` of `samples`
+/// against the model CDF.
+///
+/// `samples` need not be sorted; a sorted copy is made internally.
+pub fn ks_statistic<D: Distribution>(samples: &[f64], model: &D) -> f64 {
+    assert!(!samples.is_empty(), "KS statistic needs samples");
+    let mut xs = samples.to_vec();
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = model.cdf(x);
+        // empirical CDF jumps from i/n to (i+1)/n at x
+        d = d.max((f - i as f64 / n).abs());
+        d = d.max(((i + 1) as f64 / n - f).abs());
+    }
+    d
+}
+
+/// Asymptotic KS p-value via the Kolmogorov distribution
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} e^{-2k²λ²}` with the usual small-sample
+/// correction `λ = (√n + 0.12 + 0.11/√n)·D` (Numerical Recipes form).
+pub fn ks_pvalue(d: f64, n: usize) -> f64 {
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Convenience wrapper: returns `(D_n, p_value)`.
+pub fn ks_test<D: Distribution>(samples: &[f64], model: &D) -> (f64, f64) {
+    let d = ks_statistic(samples, model);
+    (d, ks_pvalue(d, samples.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, LogNormal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn correct_model_not_rejected() {
+        let d = LogNormal::new(5.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let xs = d.sample_n(&mut rng, 2000);
+        let (stat, p) = ks_test(&xs, &d);
+        assert!(stat < 0.05, "KS stat {stat}");
+        assert!(p > 0.01, "p-value {p}");
+    }
+
+    #[test]
+    fn wrong_model_rejected() {
+        let truth = LogNormal::new(5.0, 1.2).unwrap();
+        let wrong = Exponential::with_mean(50.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let xs = truth.sample_n(&mut rng, 2000);
+        let (stat, p) = ks_test(&xs, &wrong);
+        assert!(stat > 0.1, "KS stat {stat} should be large");
+        assert!(p < 1e-6, "p-value {p} should be tiny");
+    }
+
+    #[test]
+    fn pvalue_monotone_in_d() {
+        let p1 = ks_pvalue(0.01, 1000);
+        let p2 = ks_pvalue(0.05, 1000);
+        let p3 = ks_pvalue(0.2, 1000);
+        assert!(p1 > p2 && p2 > p3);
+        assert!(p1 <= 1.0 && p3 >= 0.0);
+    }
+
+    #[test]
+    fn tiny_d_gives_pvalue_one() {
+        assert_eq!(ks_pvalue(1e-9, 50), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_sample_panics() {
+        let d = Exponential::new(1.0).unwrap();
+        ks_statistic(&[], &d);
+    }
+}

@@ -1,0 +1,193 @@
+//! Maximum-likelihood estimators for the latency-body families.
+
+use crate::dist::{Exponential, LogNormal, Pareto, Weibull};
+
+/// Validates a body sample for fitting: non-empty, finite, strictly positive.
+fn validate_positive(samples: &[f64]) -> Result<(), String> {
+    if samples.is_empty() {
+        return Err("cannot fit a distribution to zero samples".to_string());
+    }
+    if samples.iter().any(|&x| !x.is_finite() || x <= 0.0) {
+        return Err("samples must be finite and strictly positive".to_string());
+    }
+    Ok(())
+}
+
+/// Log-normal MLE: `μ̂ = mean(ln x)`, `σ̂² = var(ln x)` (closed form).
+pub fn fit_lognormal(samples: &[f64]) -> Result<LogNormal, String> {
+    validate_positive(samples)?;
+    let n = samples.len() as f64;
+    let mu = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let s2 = samples.iter().map(|x| (x.ln() - mu) * (x.ln() - mu)).sum::<f64>() / n;
+    if s2 <= 0.0 {
+        return Err("degenerate sample: zero log-variance".to_string());
+    }
+    LogNormal::new(mu, s2.sqrt())
+}
+
+/// Exponential MLE: `λ̂ = 1/mean(x)` (closed form).
+pub fn fit_exponential(samples: &[f64]) -> Result<Exponential, String> {
+    validate_positive(samples)?;
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Exponential::new(1.0 / mean)
+}
+
+/// Pareto MLE: `x̂_m = min(x)`, `α̂ = n / Σ ln(x_i/x̂_m)` (closed form).
+pub fn fit_pareto(samples: &[f64]) -> Result<Pareto, String> {
+    validate_positive(samples)?;
+    let xm = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let s: f64 = samples.iter().map(|&x| (x / xm).ln()).sum();
+    if s <= 0.0 {
+        return Err("degenerate sample: all values equal".to_string());
+    }
+    Pareto::new(xm, samples.len() as f64 / s)
+}
+
+/// Weibull MLE: solves the profile-likelihood equation for the shape `k`
+/// by safeguarded Newton iteration, then recovers the scale in closed form.
+///
+/// The shape equation is
+/// `g(k) = Σ x^k ln x / Σ x^k - 1/k - mean(ln x) = 0`,
+/// which is monotone increasing in `k`; we bracket and Newton-iterate with
+/// bisection fallback.
+pub fn fit_weibull(samples: &[f64]) -> Result<Weibull, String> {
+    validate_positive(samples)?;
+    let n = samples.len() as f64;
+    let mean_ln = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+
+    // g(k) and g'(k) computed in one pass over the (rescaled) samples.
+    // Rescale by the geometric mean to keep x^k in range.
+    let gm = mean_ln.exp();
+    let xs: Vec<f64> = samples.iter().map(|&x| x / gm).collect();
+    let mean_ln_r = mean_ln - gm.ln(); // mean of ln(x/gm)
+
+    let g = |k: f64| -> (f64, f64) {
+        let mut sw = 0.0; // Σ x^k
+        let mut swl = 0.0; // Σ x^k ln x
+        let mut swl2 = 0.0; // Σ x^k (ln x)^2
+        for &x in &xs {
+            let lx = x.ln();
+            let w = x.powf(k);
+            sw += w;
+            swl += w * lx;
+            swl2 += w * lx * lx;
+        }
+        let ratio = swl / sw;
+        let val = ratio - 1.0 / k - mean_ln_r;
+        let deriv = (swl2 / sw) - ratio * ratio + 1.0 / (k * k);
+        (val, deriv)
+    };
+
+    // bracket the root
+    let mut lo = 1e-3;
+    let mut hi = 1.0;
+    while g(hi).0 < 0.0 {
+        hi *= 2.0;
+        if hi > 1e4 {
+            return Err("weibull MLE failed to bracket the shape".to_string());
+        }
+    }
+    while g(lo).0 > 0.0 {
+        lo /= 2.0;
+        if lo < 1e-9 {
+            return Err("weibull MLE failed to bracket the shape".to_string());
+        }
+    }
+
+    let mut k = 0.5 * (lo + hi);
+    for _ in 0..100 {
+        let (val, deriv) = g(k);
+        if val.abs() < 1e-12 {
+            break;
+        }
+        if val > 0.0 {
+            hi = k;
+        } else {
+            lo = k;
+        }
+        let newton = k - val / deriv;
+        k = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi) // bisection fallback keeps the bracket
+        };
+    }
+
+    // scale MLE given shape: λ = (mean(x^k))^(1/k), undo the rescaling
+    let scale_r = (xs.iter().map(|&x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    Weibull::new(k, scale_r * gm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draw<D: Distribution>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        d.sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(fit_lognormal(&[]).is_err());
+        assert!(fit_lognormal(&[1.0, -1.0]).is_err());
+        assert!(fit_exponential(&[0.0]).is_err());
+        assert!(fit_pareto(&[2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn lognormal_recovery() {
+        let truth = LogNormal::new(5.7, 1.1).unwrap();
+        let xs = draw(&truth, 20_000, 10);
+        let fit = fit_lognormal(&xs).unwrap();
+        assert!((fit.mu() - 5.7).abs() < 0.03, "mu {}", fit.mu());
+        assert!((fit.sigma() - 1.1).abs() < 0.03, "sigma {}", fit.sigma());
+    }
+
+    #[test]
+    fn exponential_recovery() {
+        let truth = Exponential::new(0.002).unwrap();
+        let xs = draw(&truth, 20_000, 11);
+        let fit = fit_exponential(&xs).unwrap();
+        assert!((fit.lambda() - 0.002).abs() / 0.002 < 0.03);
+    }
+
+    #[test]
+    fn pareto_recovery() {
+        let truth = Pareto::new(100.0, 2.3).unwrap();
+        let xs = draw(&truth, 20_000, 12);
+        let fit = fit_pareto(&xs).unwrap();
+        assert!((fit.scale() - 100.0).abs() < 0.5, "xm {}", fit.scale());
+        assert!((fit.alpha() - 2.3).abs() < 0.08, "alpha {}", fit.alpha());
+    }
+
+    #[test]
+    fn weibull_recovery_heavy_and_light() {
+        for (shape, scale, seed) in [(0.65, 420.0, 13), (1.4, 800.0, 14)] {
+            let truth = Weibull::new(shape, scale).unwrap();
+            let xs = draw(&truth, 20_000, seed);
+            let fit = fit_weibull(&xs).unwrap();
+            assert!(
+                (fit.shape() - shape).abs() / shape < 0.05,
+                "shape {} vs {shape}",
+                fit.shape()
+            );
+            assert!(
+                (fit.scale() - scale).abs() / scale < 0.05,
+                "scale {} vs {scale}",
+                fit.scale()
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_shape_one_close_to_exponential_fit() {
+        let truth = Exponential::with_mean(300.0).unwrap();
+        let xs = draw(&truth, 20_000, 15);
+        let w = fit_weibull(&xs).unwrap();
+        assert!((w.shape() - 1.0).abs() < 0.05, "shape {}", w.shape());
+    }
+}

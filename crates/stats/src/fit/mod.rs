@@ -1,0 +1,55 @@
+//! Distribution fitting: maximum-likelihood estimators, goodness-of-fit
+//! tests and model selection for latency traces.
+//!
+//! Rust's statistics ecosystem lacks mature fitting tools, so this module
+//! implements what the reproduction needs from scratch:
+//!
+//! * closed-form MLE for log-normal, exponential, Pareto;
+//! * Newton-iterated MLE for the Weibull shape;
+//! * Kolmogorov–Smirnov statistic and asymptotic p-value;
+//! * AIC/BIC-based comparison of candidate latency-body families
+//!   ([`select_body_model`]), mirroring the model-selection step of the
+//!   paper's companion work.
+//!
+//! All estimators operate on the *non-outlier* body of a censored trace; the
+//! outlier ratio `ρ` is estimated separately as a binomial proportion (the
+//! natural MLE under censoring: outliers carry no information beyond their
+//! count).
+
+mod ks;
+mod mle;
+mod select;
+
+pub use ks::{ks_pvalue, ks_statistic, ks_test};
+pub use mle::{fit_exponential, fit_lognormal, fit_pareto, fit_weibull};
+pub use select::{select_body_model, BodyModel, FitReport};
+
+/// Estimates the outlier ratio `ρ` and its standard error from counts.
+///
+/// Under censoring, outliers are Bernoulli(ρ) observations, so the MLE is the
+/// sample proportion with standard error `√(ρ̂(1-ρ̂)/n)`.
+pub fn fit_outlier_ratio(n_outliers: usize, n_total: usize) -> (f64, f64) {
+    assert!(n_total > 0, "need at least one observation");
+    assert!(n_outliers <= n_total);
+    let rho = n_outliers as f64 / n_total as f64;
+    let se = (rho * (1.0 - rho) / n_total as f64).sqrt();
+    (rho, se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlier_ratio_basic() {
+        let (rho, se) = fit_outlier_ratio(25, 100);
+        assert!((rho - 0.25).abs() < 1e-12);
+        assert!((se - (0.25f64 * 0.75 / 100.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn outlier_ratio_rejects_empty() {
+        fit_outlier_ratio(0, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Model selection across candidate latency-body families.
+
+use super::ks::ks_test;
+use super::mle::{fit_exponential, fit_lognormal, fit_pareto, fit_weibull};
+use crate::dist::{Distribution, Exponential, LogNormal, Pareto, Weibull};
+
+/// A fitted latency-body model from one of the supported families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BodyModel {
+    /// Log-normal body.
+    LogNormal(LogNormal),
+    /// Weibull body.
+    Weibull(Weibull),
+    /// Exponential body.
+    Exponential(Exponential),
+    /// Pareto body.
+    Pareto(Pareto),
+}
+
+impl BodyModel {
+    /// Family name for reporting.
+    pub fn family(&self) -> &'static str {
+        match self {
+            BodyModel::LogNormal(_) => "lognormal",
+            BodyModel::Weibull(_) => "weibull",
+            BodyModel::Exponential(_) => "exponential",
+            BodyModel::Pareto(_) => "pareto",
+        }
+    }
+
+    /// Number of free parameters (for AIC/BIC).
+    pub fn k_params(&self) -> usize {
+        match self {
+            BodyModel::Exponential(_) => 1,
+            _ => 2,
+        }
+    }
+}
+
+impl Distribution for BodyModel {
+    fn cdf(&self, t: f64) -> f64 {
+        match self {
+            BodyModel::LogNormal(d) => d.cdf(t),
+            BodyModel::Weibull(d) => d.cdf(t),
+            BodyModel::Exponential(d) => d.cdf(t),
+            BodyModel::Pareto(d) => d.cdf(t),
+        }
+    }
+
+    fn pdf(&self, t: f64) -> f64 {
+        match self {
+            BodyModel::LogNormal(d) => d.pdf(t),
+            BodyModel::Weibull(d) => d.pdf(t),
+            BodyModel::Exponential(d) => d.pdf(t),
+            BodyModel::Pareto(d) => d.pdf(t),
+        }
+    }
+
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            BodyModel::LogNormal(d) => d.sample(rng),
+            BodyModel::Weibull(d) => d.sample(rng),
+            BodyModel::Exponential(d) => d.sample(rng),
+            BodyModel::Pareto(d) => d.sample(rng),
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        match self {
+            BodyModel::LogNormal(d) => d.mean(),
+            BodyModel::Weibull(d) => d.mean(),
+            BodyModel::Exponential(d) => d.mean(),
+            BodyModel::Pareto(d) => d.mean(),
+        }
+    }
+
+    fn variance(&self) -> Option<f64> {
+        match self {
+            BodyModel::LogNormal(d) => d.variance(),
+            BodyModel::Weibull(d) => d.variance(),
+            BodyModel::Exponential(d) => d.variance(),
+            BodyModel::Pareto(d) => d.variance(),
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        match self {
+            BodyModel::LogNormal(d) => d.quantile(p),
+            BodyModel::Weibull(d) => d.quantile(p),
+            BodyModel::Exponential(d) => d.quantile(p),
+            BodyModel::Pareto(d) => d.quantile(p),
+        }
+    }
+}
+
+/// Fit diagnostics for one candidate family.
+#[derive(Debug, Clone, Copy)]
+pub struct FitReport {
+    /// The fitted model.
+    pub model: BodyModel,
+    /// Maximised log-likelihood.
+    pub log_likelihood: f64,
+    /// Akaike information criterion `2k - 2lnL` (lower is better).
+    pub aic: f64,
+    /// Bayesian information criterion `k·ln n - 2lnL`.
+    pub bic: f64,
+    /// KS statistic against the fitted model.
+    pub ks: f64,
+    /// Asymptotic KS p-value (biased optimistic: parameters were estimated
+    /// from the same data; use for ranking, not absolute acceptance).
+    pub ks_pvalue: f64,
+}
+
+fn log_likelihood<D: Distribution>(samples: &[f64], model: &D) -> f64 {
+    samples
+        .iter()
+        .map(|&x| model.pdf(x).max(1e-300).ln())
+        .sum()
+}
+
+fn report(samples: &[f64], model: BodyModel) -> FitReport {
+    let ll = log_likelihood(samples, &model);
+    let k = model.k_params() as f64;
+    let n = samples.len() as f64;
+    let (ks, p) = ks_test(samples, &model);
+    FitReport {
+        model,
+        log_likelihood: ll,
+        aic: 2.0 * k - 2.0 * ll,
+        bic: k * n.ln() - 2.0 * ll,
+        ks,
+        ks_pvalue: p,
+    }
+}
+
+/// Fits every candidate family to the body sample and returns the reports
+/// sorted by ascending AIC (best first). Families whose MLE fails on this
+/// sample are skipped.
+pub fn select_body_model(samples: &[f64]) -> Vec<FitReport> {
+    let mut out = Vec::with_capacity(4);
+    if let Ok(d) = fit_lognormal(samples) {
+        out.push(report(samples, BodyModel::LogNormal(d)));
+    }
+    if let Ok(d) = fit_weibull(samples) {
+        out.push(report(samples, BodyModel::Weibull(d)));
+    }
+    if let Ok(d) = fit_exponential(samples) {
+        out.push(report(samples, BodyModel::Exponential(d)));
+    }
+    if let Ok(d) = fit_pareto(samples) {
+        out.push(report(samples, BodyModel::Pareto(d)));
+    }
+    out.sort_by(|a, b| a.aic.partial_cmp(&b.aic).expect("finite AIC"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_data_selects_lognormal() {
+        let truth = LogNormal::new(5.7, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let xs = truth.sample_n(&mut rng, 5000);
+        let reports = select_body_model(&xs);
+        assert_eq!(reports[0].model.family(), "lognormal");
+        // ranking is consistent: AIC ascending
+        for w in reports.windows(2) {
+            assert!(w[0].aic <= w[1].aic);
+        }
+    }
+
+    #[test]
+    fn weibull_data_selects_weibull() {
+        let truth = Weibull::new(0.6, 300.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        let xs = truth.sample_n(&mut rng, 5000);
+        let reports = select_body_model(&xs);
+        assert_eq!(reports[0].model.family(), "weibull");
+    }
+
+    #[test]
+    fn exponential_data_prefers_exponential_by_bic() {
+        let truth = Exponential::with_mean(400.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let xs = truth.sample_n(&mut rng, 5000);
+        let reports = select_body_model(&xs);
+        let best_bic = reports
+            .iter()
+            .min_by(|a, b| a.bic.partial_cmp(&b.bic).unwrap())
+            .unwrap();
+        // Weibull nests the exponential, so BIC's complexity penalty must
+        // pick the 1-parameter model.
+        assert_eq!(best_bic.model.family(), "exponential");
+    }
+
+    #[test]
+    fn reports_contain_consistent_diagnostics() {
+        let truth = LogNormal::new(5.0, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(34);
+        let xs = truth.sample_n(&mut rng, 1000);
+        for r in select_body_model(&xs) {
+            assert!(r.aic.is_finite() && r.bic.is_finite());
+            assert!((0.0..=1.0).contains(&r.ks_pvalue));
+            assert!(r.ks >= 0.0 && r.ks <= 1.0);
+            assert!(r.aic < r.bic + 2.0 * r.model.k_params() as f64); // sanity relation
+        }
+    }
+}

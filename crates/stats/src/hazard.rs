@@ -1,0 +1,224 @@
+//! Hazard-rate analysis of latency distributions.
+//!
+//! The theoretical backbone of resubmission strategies: cancelling a job at
+//! `t∞` and restarting only helps when the *hazard rate*
+//! `h(t) = f(t)/(1-F(t))` of the latency distribution is **decreasing** —
+//! a job that has waited long is then less likely to start soon than a
+//! fresh one (and outliers, whose hazard is zero, are the extreme case).
+//! For increasing-hazard (e.g. light-tailed) latencies, resubmission can
+//! only waste time, which is why the memoryless exponential is the exact
+//! break-even point.
+//!
+//! This module estimates empirical hazard profiles from censored samples
+//! and classifies them, giving the library a principled “should you
+//! resubmit at all?” diagnostic that complements the paper's numerical
+//! optimizations.
+
+use crate::ecdf::Ecdf;
+
+/// One bin of an empirical hazard profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HazardBin {
+    /// Bin start time (seconds).
+    pub t_lo: f64,
+    /// Bin end time (seconds).
+    pub t_hi: f64,
+    /// Estimated hazard rate on the bin, per second. With
+    /// `p = P(start in bin | alive at bin start)` the exact
+    /// piecewise-constant-hazard inverse is `-ln(1-p)/width` (the naive
+    /// `p/width` biases low precisely on the wide high-`p` tail bins).
+    pub rate: f64,
+    /// Number of samples at risk at the bin start (body + still-censored).
+    pub at_risk: usize,
+}
+
+/// Empirical hazard profile over equal-probability (quantile) bins.
+#[derive(Debug, Clone)]
+pub struct HazardProfile {
+    bins: Vec<HazardBin>,
+    outlier_ratio: f64,
+}
+
+/// Trend classification of a hazard profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardTrend {
+    /// Hazard decreases over time: waiting is bad, resubmission pays.
+    Decreasing,
+    /// Hazard increases over time: jobs “ripen”, resubmission wastes work.
+    Increasing,
+    /// No clear monotone trend (e.g. memoryless-like plateau).
+    Flat,
+}
+
+impl HazardProfile {
+    /// Estimates the hazard on `n_bins` quantile bins of the body
+    /// distribution, treating censored outliers as never-starting (their
+    /// hazard contribution is zero but they stay in the risk set).
+    ///
+    /// Quantile bins keep per-bin event counts balanced, which controls the
+    /// estimator's variance uniformly across the profile.
+    pub fn from_ecdf(ecdf: &Ecdf, n_bins: usize) -> HazardProfile {
+        assert!(n_bins >= 2, "need at least two bins for a profile");
+        let body = ecdf.body();
+        let n_total = ecdf.n_total();
+        let mut bins = Vec::with_capacity(n_bins);
+        let mut edges = Vec::with_capacity(n_bins + 1);
+        edges.push(0.0);
+        for i in 1..n_bins {
+            edges.push(ecdf.body_quantile(i as f64 / n_bins as f64));
+        }
+        edges.push(body[body.len() - 1] * (1.0 + 1e-12));
+        edges.dedup();
+
+        for w in edges.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if hi <= lo {
+                continue;
+            }
+            // events in [lo, hi): body samples in the bin
+            let started = body.partition_point(|&x| x < hi) - body.partition_point(|&x| x < lo);
+            // at risk at lo: everything not yet started (incl. outliers)
+            let at_risk = n_total - body.partition_point(|&x| x < lo);
+            if at_risk == 0 {
+                break;
+            }
+            // +1 shrinkage keeps p < 1 so the log stays finite even when
+            // every at-risk sample starts inside the bin
+            let p = started as f64 / (at_risk as f64 + 1.0);
+            bins.push(HazardBin {
+                t_lo: lo,
+                t_hi: hi,
+                rate: -(1.0 - p).ln() / (hi - lo),
+                at_risk,
+            });
+        }
+        HazardProfile { bins, outlier_ratio: ecdf.outlier_ratio() }
+    }
+
+    /// The estimated bins.
+    pub fn bins(&self) -> &[HazardBin] {
+        &self.bins
+    }
+
+    /// The sample's outlier ratio (hazard of the censored mass is zero).
+    pub fn outlier_ratio(&self) -> f64 {
+        self.outlier_ratio
+    }
+
+    /// Classifies the hazard trend by comparing the average rate of the
+    /// first and last thirds of the profile; `tolerance` is the relative
+    /// difference below which the trend counts as [`HazardTrend::Flat`].
+    pub fn trend(&self, tolerance: f64) -> HazardTrend {
+        assert!(tolerance >= 0.0);
+        let n = self.bins.len();
+        if n < 3 {
+            return HazardTrend::Flat;
+        }
+        let third = (n / 3).max(1);
+        let head: f64 =
+            self.bins[..third].iter().map(|b| b.rate).sum::<f64>() / third as f64;
+        let tail: f64 = self.bins[n - third..].iter().map(|b| b.rate).sum::<f64>()
+            / third as f64;
+        let rel = (head - tail) / head.max(f64::MIN_POSITIVE);
+        if rel > tolerance {
+            HazardTrend::Decreasing
+        } else if rel < -tolerance {
+            HazardTrend::Increasing
+        } else {
+            HazardTrend::Flat
+        }
+    }
+
+    /// True when resubmission is advisable: decreasing hazard, or any
+    /// non-zero outlier mass (lost jobs *must* be resubmitted eventually).
+    pub fn resubmission_pays(&self) -> bool {
+        self.outlier_ratio > 0.0 || self.trend(0.25) == HazardTrend::Decreasing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Exponential, LogNormal, Weibull};
+    use crate::rng::derived_rng;
+
+    fn profile_of<D: Distribution>(d: &D, n: usize, seed: u64) -> HazardProfile {
+        let mut rng = derived_rng(seed, 0);
+        let xs = d.sample_n(&mut rng, n);
+        let e = Ecdf::from_samples(&xs, f64::MAX.sqrt()).unwrap();
+        HazardProfile::from_ecdf(&e, 12)
+    }
+
+    #[test]
+    fn exponential_hazard_is_flat() {
+        let d = Exponential::with_mean(300.0).unwrap();
+        let p = profile_of(&d, 40_000, 1);
+        assert_eq!(p.trend(0.25), HazardTrend::Flat);
+        // the plateau sits near λ = 1/300
+        for b in &p.bins()[..p.bins().len() - 1] {
+            assert!(
+                (b.rate - 1.0 / 300.0).abs() / (1.0 / 300.0) < 0.35,
+                "rate {} far from λ",
+                b.rate
+            );
+        }
+        assert!(!p.resubmission_pays());
+    }
+
+    #[test]
+    fn lognormal_hazard_decreases_in_the_tail() {
+        // heavy log-normal (cv ≈ 1.9): hazard rises then falls; with the
+        // first bins near zero (nothing starts immediately) the profile's
+        // head-vs-tail comparison must *not* classify as Increasing
+        let d = LogNormal::from_mean_std(450.0, 850.0).unwrap();
+        let p = profile_of(&d, 40_000, 2);
+        assert_ne!(p.trend(0.25), HazardTrend::Increasing);
+        // and the very tail is thinner-hazard than the mode region
+        let peak = p.bins().iter().map(|b| b.rate).fold(0.0, f64::max);
+        let last = p.bins().last().unwrap().rate;
+        assert!(last < 0.5 * peak, "tail hazard {last} vs peak {peak}");
+    }
+
+    #[test]
+    fn weibull_shapes_classify_correctly() {
+        // k < 1 ⇒ strictly decreasing hazard; k > 1 ⇒ strictly increasing
+        let dec = profile_of(&Weibull::new(0.6, 300.0).unwrap(), 40_000, 3);
+        assert_eq!(dec.trend(0.25), HazardTrend::Decreasing);
+        assert!(dec.resubmission_pays());
+        let inc = profile_of(&Weibull::new(2.5, 300.0).unwrap(), 40_000, 4);
+        assert_eq!(inc.trend(0.25), HazardTrend::Increasing);
+        assert!(!inc.resubmission_pays());
+    }
+
+    #[test]
+    fn outlier_mass_always_makes_resubmission_pay() {
+        let d = Exponential::with_mean(300.0).unwrap();
+        let mut rng = derived_rng(5, 0);
+        let mut xs = d.sample_n(&mut rng, 5_000);
+        xs.extend(std::iter::repeat_n(20_000.0, 500)); // 9% outliers
+        let e = Ecdf::from_samples(&xs, 10_000.0).unwrap();
+        let p = HazardProfile::from_ecdf(&e, 10);
+        assert!(p.outlier_ratio() > 0.08);
+        assert!(p.resubmission_pays());
+    }
+
+    #[test]
+    fn risk_set_is_monotone_decreasing() {
+        let d = LogNormal::new(5.5, 1.0).unwrap();
+        let p = profile_of(&d, 10_000, 6);
+        for w in p.bins().windows(2) {
+            assert!(w[1].at_risk <= w[0].at_risk);
+        }
+        assert!(p.bins().iter().all(|b| b.rate >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bins")]
+    fn rejects_single_bin() {
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = derived_rng(7, 0);
+        let xs = d.sample_n(&mut rng, 100);
+        let e = Ecdf::from_samples(&xs, 1e9).unwrap();
+        HazardProfile::from_ecdf(&e, 1);
+    }
+}

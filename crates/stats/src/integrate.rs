@@ -1,0 +1,144 @@
+//! Numerical quadrature for parametric latency models.
+//!
+//! Empirical CDFs integrate exactly (see [`crate::stepfn`]); parametric
+//! models (log-normal bodies etc.) need quadrature. Adaptive Simpson with a
+//! recursion-depth safeguard is accurate and cheap for the smooth, bounded
+//! integrands that appear in the strategy equations.
+
+/// Composite trapezoid rule with `n ≥ 1` panels.
+pub fn trapezoid(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 1, "need at least one panel");
+    if a == b {
+        return 0.0;
+    }
+    let h = (b - a) / n as f64;
+    let mut sum = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        sum += f(a + i as f64 * h);
+    }
+    sum * h
+}
+
+/// Composite Simpson rule with `n` panels (`n` rounded up to even).
+pub fn simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 2, "need at least two panels");
+    if a == b {
+        return 0.0;
+    }
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let c = if i % 2 == 1 { 4.0 } else { 2.0 };
+        sum += c * f(a + i as f64 * h);
+    }
+    sum * h / 3.0
+}
+
+/// Adaptive Simpson quadrature to absolute tolerance `tol`.
+///
+/// Uses the classic Richardson-style error estimate `|S2 - S1|/15 < tol`
+/// with per-subinterval tolerance halving and a depth cap of 50 (at which
+/// point the current best estimate is accepted — integrands here are smooth
+/// except at isolated step points, where the error is already negligible).
+pub fn adaptive_simpson(f: impl Fn(f64) -> f64 + Copy, a: f64, b: f64, tol: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    if b < a {
+        return -adaptive_simpson(f, b, a, tol);
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    adaptive_step(f, a, b, fa, fb, fm, whole, tol, 50)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_step(
+    f: impl Fn(f64) -> f64 + Copy,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fb: f64,
+    fm: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+    let right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        adaptive_step(f, a, m, fa, fm, flm, left, tol / 2.0, depth - 1)
+            + adaptive_step(f, m, b, fm, fb, frm, right, tol / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        // ∫₀¹ (2x+1) dx = 2
+        let got = trapezoid(|x| 2.0 * x + 1.0, 0.0, 1.0, 1);
+        assert!((got - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_cubic_exact() {
+        // Simpson is exact for cubics: ∫₀² x³ dx = 4
+        let got = simpson(|x| x * x * x, 0.0, 2.0, 2);
+        assert!((got - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_rounds_odd_panels() {
+        let got = simpson(|x| x * x, 0.0, 3.0, 3);
+        assert!((got - 9.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adaptive_simpson_exp() {
+        // ∫₀¹ e^x dx = e - 1
+        let got = adaptive_simpson(|x| x.exp(), 0.0, 1.0, 1e-10);
+        assert!((got - (1f64.exp() - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_simpson_reversed_bounds() {
+        let f = |x: f64| x.sin();
+        let forward = adaptive_simpson(f, 0.0, std::f64::consts::PI, 1e-10);
+        let backward = adaptive_simpson(f, std::f64::consts::PI, 0.0, 1e-10);
+        assert!((forward - 2.0).abs() < 1e-8);
+        assert!((forward + backward).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_simpson_peaked_integrand() {
+        // sharply peaked Gaussian: ∫ φ((x-5)/0.01)/0.01 over [0,10] ≈ 1
+        let f = |x: f64| {
+            let z: f64 = (x - 5.0) / 0.01;
+            (-0.5 * z * z).exp() / (0.01 * (2.0 * std::f64::consts::PI).sqrt())
+        };
+        let got = adaptive_simpson(f, 0.0, 10.0, 1e-10);
+        assert!((got - 1.0).abs() < 1e-6, "got {got}");
+    }
+
+    #[test]
+    fn degenerate_interval_is_zero() {
+        assert_eq!(adaptive_simpson(|x| x, 3.0, 3.0, 1e-9), 0.0);
+        assert_eq!(trapezoid(|x| x, 2.0, 2.0, 4), 0.0);
+        assert_eq!(simpson(|x| x, 2.0, 2.0, 4), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Golden-section search for unimodal scalar minimisation.
+
+use super::Min1d;
+
+/// Minimises `f` on `[a, b]` assuming unimodality, to bracket width `tol`.
+///
+/// Always converges (the bracket shrinks by the golden ratio each step); on
+/// non-unimodal objectives it converges to *a* local minimum inside the
+/// initial bracket, which is why callers combine it with a coarse grid scan.
+pub fn golden_section(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> Min1d {
+    assert!(a <= b, "invalid bracket [{a}, {b}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    const INVPHI: f64 = 0.618_033_988_749_894_9; // 1/φ
+    const INVPHI2: f64 = 0.381_966_011_250_105_1; // 1/φ²
+
+    let (mut a, mut b) = (a, b);
+    let mut h = b - a;
+    if h <= tol {
+        let x = 0.5 * (a + b);
+        return Min1d { x, value: f(x) };
+    }
+    let mut c = a + INVPHI2 * h;
+    let mut d = a + INVPHI * h;
+    let mut fc = f(c);
+    let mut fd = f(d);
+
+    while h > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            h = b - a;
+            c = a + INVPHI2 * h;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            h = b - a;
+            d = a + INVPHI * h;
+            fd = f(d);
+        }
+    }
+    if fc < fd {
+        Min1d { x: c, value: fc }
+    } else {
+        Min1d { x: d, value: fd }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_minimum() {
+        let r = golden_section(|x| (x - 3.2) * (x - 3.2) + 1.0, 0.0, 10.0, 1e-8);
+        assert!((r.x - 3.2).abs() < 1e-6);
+        assert!((r.value - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn minimum_at_boundary() {
+        let r = golden_section(|x| x, 2.0, 5.0, 1e-8);
+        assert!((r.x - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_bracket() {
+        let r = golden_section(|x| x * x, 1.0, 1.0, 1e-8);
+        assert_eq!(r.x, 1.0);
+        assert_eq!(r.value, 1.0);
+    }
+
+    #[test]
+    fn nonsmooth_vee() {
+        let r = golden_section(|x: f64| (x - 1.7).abs(), 0.0, 4.0, 1e-9);
+        assert!((r.x - 1.7).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn rejects_reversed_bracket() {
+        golden_section(|x| x, 5.0, 2.0, 1e-8);
+    }
+}

@@ -1,0 +1,145 @@
+//! Nelder–Mead simplex minimisation in two dimensions.
+//!
+//! Used as a polish step after [`super::grid_min_2d`] located the right
+//! basin of the `(t0, t∞)` plane. Constraints are handled by an infinite
+//! penalty (the simplex simply never moves onto infeasible points because
+//! their value is `+∞`).
+
+use super::Min2d;
+
+/// Minimises `f(x, y)` by Nelder–Mead starting from `start` with initial
+/// simplex scale `scale`, for at most `max_iter` iterations or until the
+/// simplex's value spread falls below `tol`.
+///
+/// Infeasible regions should be encoded by returning `f64::INFINITY`.
+/// Panics if the starting point itself evaluates to a non-finite value.
+pub fn nelder_mead_2d(
+    f: impl Fn(f64, f64) -> f64,
+    start: (f64, f64),
+    scale: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Min2d {
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let eval = |p: [f64; 2]| f(p[0], p[1]);
+    let mut simplex: [([f64; 2], f64); 3] = [
+        ([start.0, start.1], 0.0),
+        ([start.0 + scale, start.1], 0.0),
+        ([start.0, start.1 + scale], 0.0),
+    ];
+    for v in simplex.iter_mut() {
+        v.1 = eval(v.0);
+    }
+    assert!(
+        simplex[0].1.is_finite(),
+        "nelder_mead_2d requires a feasible starting point"
+    );
+
+    for _ in 0..max_iter {
+        // order best → worst
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN objective"));
+        let spread = (simplex[2].1 - simplex[0].1).abs();
+        if spread < tol && simplex[2].1.is_finite() {
+            break;
+        }
+        let best = simplex[0];
+        let worst = simplex[2];
+        // centroid of the two best
+        let c = [
+            0.5 * (simplex[0].0[0] + simplex[1].0[0]),
+            0.5 * (simplex[0].0[1] + simplex[1].0[1]),
+        ];
+        let reflect = [
+            c[0] + ALPHA * (c[0] - worst.0[0]),
+            c[1] + ALPHA * (c[1] - worst.0[1]),
+        ];
+        let fr = eval(reflect);
+        if fr < best.1 {
+            // try expansion
+            let expand = [
+                c[0] + GAMMA * (reflect[0] - c[0]),
+                c[1] + GAMMA * (reflect[1] - c[1]),
+            ];
+            let fe = eval(expand);
+            simplex[2] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[1].1 {
+            simplex[2] = (reflect, fr);
+        } else {
+            // contraction (outside if reflection improved on worst, else inside)
+            let towards = if fr < worst.1 { reflect } else { worst.0 };
+            let contract = [
+                c[0] + RHO * (towards[0] - c[0]),
+                c[1] + RHO * (towards[1] - c[1]),
+            ];
+            let fc = eval(contract);
+            if fc < worst.1.min(fr) {
+                simplex[2] = (contract, fc);
+            } else {
+                // shrink towards best
+                for vertex in simplex.iter_mut().skip(1) {
+                    let p = [
+                        best.0[0] + SIGMA * (vertex.0[0] - best.0[0]),
+                        best.0[1] + SIGMA * (vertex.0[1] - best.0[1]),
+                    ];
+                    *vertex = (p, eval(p));
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN objective"));
+    Min2d {
+        x: simplex[0].0[0],
+        y: simplex[0].0[1],
+        value: simplex[0].1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rosenbrock_valley() {
+        let f = |x: f64, y: f64| (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2);
+        let r = nelder_mead_2d(f, (-1.0, 1.0), 0.5, 1e-14, 5000);
+        assert!((r.x - 1.0).abs() < 1e-3, "x {}", r.x);
+        assert!((r.y - 1.0).abs() < 1e-3, "y {}", r.y);
+    }
+
+    #[test]
+    fn quadratic_bowl_fast() {
+        let f = |x: f64, y: f64| (x - 4.0).powi(2) + (y + 2.0).powi(2);
+        let r = nelder_mead_2d(f, (0.0, 0.0), 1.0, 1e-12, 500);
+        assert!((r.x - 4.0).abs() < 1e-4);
+        assert!((r.y + 2.0).abs() < 1e-4);
+        assert!(r.value < 1e-7);
+    }
+
+    #[test]
+    fn respects_infinite_penalty() {
+        // feasible only for y > 0; minimum of bowl at (1,-1) is infeasible,
+        // constrained optimum is (1, 0+)
+        let f = |x: f64, y: f64| {
+            if y <= 0.0 {
+                f64::INFINITY
+            } else {
+                (x - 1.0).powi(2) + (y + 1.0).powi(2)
+            }
+        };
+        let r = nelder_mead_2d(f, (0.5, 1.0), 0.3, 1e-12, 2000);
+        assert!(r.y > 0.0);
+        assert!((r.x - 1.0).abs() < 0.05);
+        assert!(r.y < 0.05, "y {}", r.y);
+    }
+
+    #[test]
+    #[should_panic(expected = "feasible starting point")]
+    fn rejects_infeasible_start() {
+        let f = |_: f64, _: f64| f64::INFINITY;
+        nelder_mead_2d(f, (0.0, 0.0), 1.0, 1e-9, 10);
+    }
+}

@@ -1,0 +1,269 @@
+//! Streaming summary statistics (Welford) and simple histograms.
+//!
+//! Used by the simulator's metric collectors and the Monte-Carlo executors,
+//! where keeping every sample would be wasteful.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm) with min/max.
+///
+/// Numerically stable for long streams; merging two summaries is exact
+/// (parallel-safe reduction for rayon fold/reduce patterns).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Builds a summary from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Merges another summary into this one (Chan's parallel combination).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`; `NaN` when empty).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance (divides by `n-1`; `NaN` for n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (`√(s²/n)` with the unbiased variance).
+    pub fn stderr(&self) -> f64 {
+        (self.sample_variance() / self.n as f64).sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Fixed-width histogram on `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins ≥ 1` equal-width buckets on `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "invalid histogram range");
+        assert!(bins >= 1, "need at least one bin");
+        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            // guard against floating rounding at the upper edge
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at/above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations seen (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Midpoint of bucket `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Cumulative fraction of in-range mass up to and including bucket `i`,
+    /// normalised by the grand total (defective if there is overflow — by
+    /// design, mirroring `F̃`).
+    pub fn cumulative_fraction(&self, i: usize) -> f64 {
+        let c: u64 = self.counts[..=i].iter().sum::<u64>() + self.underflow;
+        c as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let s = Summary::from_slice(&xs);
+        let mean = xs.iter().sum::<f64>() / 5.0;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 5.0;
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = Summary::new();
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let mut a = Summary::from_slice(&xs[..37]);
+        let b = Summary::from_slice(&xs[37..]);
+        a.merge(&b);
+        let full = Summary::from_slice(&xs);
+        assert_eq!(a.count(), full.count());
+        assert!((a.mean() - full.mean()).abs() < 1e-10);
+        assert!((a.variance() - full.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), full.min());
+        assert_eq!(a.max(), full.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_slice(&[1.0, 2.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), before.count());
+        assert_eq!(s.mean(), before.mean());
+
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_variance_and_stderr() {
+        let s = Summary::from_slice(&[2.0, 4.0, 6.0]);
+        assert!((s.sample_variance() - 4.0).abs() < 1e-12);
+        assert!((s.stderr() - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 9.99, 10.0, 50.0] {
+            h.push(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.total(), 7);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_cumulative_is_defective_with_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        for x in [1.0, 6.0, 100.0] {
+            h.push(x);
+        }
+        // last in-range bucket cumulates to 2/3 < 1 because of the outlier
+        assert!((h.cumulative_fraction(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

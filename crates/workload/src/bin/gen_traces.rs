@@ -1,0 +1,99 @@
+//! `gen_traces` — materialises the 13 synthetic reference datasets on disk.
+//!
+//! ```text
+//! gen_traces --out traces/                 # observatory text format
+//! gen_traces --format json --seed 42       # JSON, custom seed
+//! gen_traces --format csv --week 2007-51   # one week only, CSV
+//! ```
+//!
+//! Useful for feeding the traces to external tooling (R, gnuplot, pandas)
+//! or for pinning a dataset snapshot alongside experiment results.
+
+use gridstrat_workload::observatory::write_observatory;
+use gridstrat_workload::WeekId;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: gen_traces [--out DIR] [--seed N] [--format observatory|json|csv] [--week NAME]";
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("traces");
+    let mut seed = 0xE6EEu64;
+    let mut format = "observatory".to_string();
+    let mut only_week: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => return fail("--out requires a directory"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return fail("--seed requires an integer"),
+            },
+            "--format" => match args.next() {
+                Some(v) if ["observatory", "json", "csv"].contains(&v.as_str()) => format = v,
+                _ => return fail("--format must be observatory, json or csv"),
+            },
+            "--week" => match args.next() {
+                Some(v) => only_week = Some(v),
+                None => return fail("--week requires a dataset name, e.g. 2007-51"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let weeks: Vec<WeekId> = match &only_week {
+        None => WeekId::ALL.to_vec(),
+        Some(name) => match WeekId::ALL.iter().find(|w| w.name() == name) {
+            Some(&w) => vec![w],
+            None => {
+                eprintln!("unknown week `{name}`; known:");
+                for w in WeekId::ALL {
+                    eprintln!("  {}", w.name());
+                }
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    for week in weeks {
+        let trace = week.generate(seed);
+        let safe_name = week.name().replace('/', "-");
+        let (ext, payload) = match format.as_str() {
+            "json" => ("json", trace.to_json()),
+            "csv" => ("csv", trace.to_csv()),
+            _ => ("log", write_observatory(&trace)),
+        };
+        let path = out_dir.join(format!("{safe_name}.{ext}"));
+        if let Err(e) = std::fs::write(&path, payload) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{:<10} {:>5} probes  ρ̂ = {:>5.1}%  mean = {:>5.0}s  → {}",
+            week.name(),
+            trace.len(),
+            100.0 * trace.outlier_ratio(),
+            trace.body_mean(),
+            path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

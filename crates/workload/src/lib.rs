@@ -1,0 +1,38 @@
+//! # gridstrat-workload
+//!
+//! Latency-trace substrate for the HPDC'09 reproduction.
+//!
+//! The paper's reference data is 12 sets of probe-job traces (10 893 probes
+//! total) collected on the EGEE biomed VO: each probe is a `/bin/hostname`
+//! job whose round-trip measures pure grid latency, censored at 10 000 s.
+//! Those traces are not publicly archived, so this crate provides the
+//! substitute documented in `DESIGN.md`:
+//!
+//! * [`trace`] — the probe-record / trace-set data model with JSON and CSV
+//!   round-trips, plus summary statistics matching the paper's Table 1
+//!   columns;
+//! * [`model`] — [`WeekModel`]: outlier ratio `ρ` + shifted log-normal body
+//!   + Pareto outlier tail, calibrated from `(mean, σ, ρ)` targets;
+//! * [`weeks`] — the 13 named datasets (`2006-IX`, `2007-36` … `2008-03`,
+//!   and the `2007/08` union) with calibration targets derived from the
+//!   paper's Table 1, and deterministic trace synthesis;
+//! * [`observatory`] — a Grid-Observatory-style plain-text log format
+//!   (writer + parser), mirroring how such traces are archived in practice.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod model;
+pub mod nonstationary;
+pub mod observatory;
+pub mod trace;
+pub mod weeks;
+
+pub use model::WeekModel;
+pub use nonstationary::DiurnalModel;
+pub use trace::{ProbeRecord, ProbeStatus, TraceSet};
+pub use weeks::{WeekId, WeekTargets, PAPER_TABLE1};
+
+/// The paper's censoring threshold: probes not started after 10 000 s are
+/// cancelled and counted as outliers (§3.2).
+pub const CENSOR_THRESHOLD_S: f64 = 10_000.0;

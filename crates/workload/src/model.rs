@@ -1,0 +1,252 @@
+//! The per-week latency model and trace synthesis.
+//!
+//! A week of EGEE latency behaviour is modelled as (DESIGN.md §2):
+//!
+//! * outlier ratio `ρ` — probability that a submission is lost/stuck and
+//!   only terminates via the censoring timeout;
+//! * a **shifted log-normal body** for non-outlier latency: a hard minimum
+//!   `shift` (credential delegation + match-making + dispatch floor) plus a
+//!   log-normal calibrated to the target `(mean, σ)` of the body;
+//! * a **Pareto outlier tail** above the censoring threshold, used only
+//!   when a simulation needs a concrete (censored) value for a stuck job.
+//!
+//! Trace synthesis reproduces the paper's measurement methodology: a
+//! constant number of probes is kept in flight; each completion (or timeout
+//! cancellation) immediately triggers the next submission (§3.2).
+
+use crate::trace::{ProbeRecord, ProbeStatus, TraceSet};
+use gridstrat_stats::rng::derived_rng;
+use gridstrat_stats::{Distribution, LogNormal, Pareto, Shifted};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Generative latency model for one trace period.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeekModel {
+    /// Dataset name.
+    pub name: String,
+    /// Outlier (fault) ratio `ρ ∈ [0, 1)`.
+    pub rho: f64,
+    /// Hard minimum latency in seconds (location shift of the body).
+    pub shift_s: f64,
+    /// Log-normal `μ` of the body above the shift.
+    pub body_mu: f64,
+    /// Log-normal `σ` of the body above the shift.
+    pub body_sigma: f64,
+    /// Censoring threshold in seconds.
+    pub threshold_s: f64,
+    /// Pareto tail index for outlier latencies beyond the threshold.
+    pub outlier_alpha: f64,
+}
+
+/// Number of probes kept in flight by the synthesis harness. The value only
+/// affects submission timestamps (not latencies), so any moderate constant
+/// reproduces the paper's methodology.
+pub const PROBES_IN_FLIGHT: usize = 50;
+
+impl WeekModel {
+    /// Calibrates a model from body targets: the non-outlier latency should
+    /// have mean `body_mean` and standard deviation `body_std`, the outlier
+    /// ratio should be `rho`.
+    ///
+    /// The shifted log-normal is solved in closed form:
+    /// the body above the shift must have mean `body_mean - shift` and the
+    /// same `body_std` (a location shift does not change the variance).
+    pub fn calibrate(
+        name: impl Into<String>,
+        body_mean: f64,
+        body_std: f64,
+        rho: f64,
+        shift_s: f64,
+        threshold_s: f64,
+    ) -> Result<Self, String> {
+        if !(rho.is_finite() && (0.0..1.0).contains(&rho)) {
+            return Err(format!("rho must be in [0,1), got {rho}"));
+        }
+        if shift_s < 0.0 || shift_s >= body_mean {
+            return Err(format!(
+                "shift ({shift_s}) must be in [0, body mean {body_mean})"
+            ));
+        }
+        if threshold_s <= body_mean {
+            return Err("censoring threshold must exceed the body mean".to_string());
+        }
+        let ln = LogNormal::from_mean_std(body_mean - shift_s, body_std)?;
+        Ok(WeekModel {
+            name: name.into(),
+            rho,
+            shift_s,
+            body_mu: ln.mu(),
+            body_sigma: ln.sigma(),
+            threshold_s,
+            outlier_alpha: 1.5,
+        })
+    }
+
+    /// The body distribution (shifted log-normal).
+    pub fn body(&self) -> Shifted<LogNormal> {
+        let ln = LogNormal::new(self.body_mu, self.body_sigma).expect("validated at calibration");
+        Shifted::new(ln, self.shift_s).expect("validated at calibration")
+    }
+
+    /// The outlier-latency distribution (Pareto above the threshold).
+    pub fn outlier_tail(&self) -> Pareto {
+        Pareto::new(self.threshold_s, self.outlier_alpha).expect("validated at calibration")
+    }
+
+    /// Theoretical mean of the body.
+    pub fn body_mean(&self) -> f64 {
+        self.body().mean().expect("log-normal mean is finite")
+    }
+
+    /// Theoretical standard deviation of the body.
+    pub fn body_std(&self) -> f64 {
+        self.body().variance().expect("log-normal variance is finite").sqrt()
+    }
+
+    /// Draws one *raw* latency: with probability `ρ` an outlier value beyond
+    /// the threshold, otherwise a body draw (which can itself exceed the
+    /// threshold in the extreme tail — such draws are censored downstream,
+    /// exactly as a real trace would record them).
+    pub fn sample_latency<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.gen::<f64>() < self.rho {
+            self.outlier_tail().sample(rng)
+        } else {
+            self.body().sample(rng)
+        }
+    }
+
+    /// The defective CDF `F̃(t) = (1-ρ)·F_body(t)` of this model, valid for
+    /// `t` below the censoring threshold.
+    pub fn defective_cdf(&self, t: f64) -> f64 {
+        (1.0 - self.rho) * self.body().cdf(t)
+    }
+
+    /// Synthesises a probe trace of `n` records with the constant-in-flight
+    /// methodology, deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> TraceSet {
+        assert!(n > 0, "cannot generate an empty trace");
+        let mut rng = derived_rng(seed, 0);
+        // Each in-flight slot is a chain: submit at t, observe latency
+        // min(raw, threshold), next submission at completion/cancel instant.
+        let slots = PROBES_IN_FLIGHT.min(n);
+        let mut next_submit = vec![0.0f64; slots];
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let slot = i % slots;
+            let submitted_at = next_submit[slot];
+            let raw = self.sample_latency(&mut rng);
+            let (latency_s, status) = if raw >= self.threshold_s {
+                (self.threshold_s, ProbeStatus::TimedOut)
+            } else {
+                (raw, ProbeStatus::Completed)
+            };
+            next_submit[slot] = submitted_at + latency_s;
+            records.push(ProbeRecord { submitted_at, latency_s, status });
+        }
+        // submission order, as a real log would be written
+        records.sort_by(|a, b| {
+            a.submitted_at
+                .partial_cmp(&b.submitted_at)
+                .expect("finite timestamps")
+        });
+        TraceSet::new(self.name.clone(), self.threshold_s, records)
+            .expect("generated records are consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> WeekModel {
+        WeekModel::calibrate("2006-IX", 570.0, 886.0, 0.05, 60.0, 10_000.0).unwrap()
+    }
+
+    #[test]
+    fn calibration_validates() {
+        assert!(WeekModel::calibrate("x", 500.0, 700.0, 1.0, 0.0, 1e4).is_err());
+        assert!(WeekModel::calibrate("x", 500.0, 700.0, 0.1, 600.0, 1e4).is_err());
+        assert!(WeekModel::calibrate("x", 500.0, 700.0, 0.1, 60.0, 400.0).is_err());
+        assert!(WeekModel::calibrate("x", 500.0, 700.0, -0.1, 60.0, 1e4).is_err());
+    }
+
+    #[test]
+    fn calibration_hits_targets_exactly() {
+        let m = model();
+        assert!((m.body_mean() - 570.0).abs() < 1e-6);
+        assert!((m.body_std() - 886.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generated_trace_matches_targets() {
+        let m = model();
+        let t = m.generate(8000, 42);
+        assert_eq!(t.len(), 8000);
+        // natural tail censoring adds a little to rho; both effects are small
+        assert!((t.outlier_ratio() - 0.05).abs() < 0.015, "rho {}", t.outlier_ratio());
+        let mean = t.body_mean();
+        assert!((mean - 570.0).abs() / 570.0 < 0.10, "mean {mean}");
+        // the sample std of a heavy-tailed log-normal is itself heavy-tailed
+        // (4th-moment driven) and censoring clips the extreme tail, so only a
+        // loose agreement can be asserted per-seed
+        let std = t.body_std();
+        assert!((std - 886.0).abs() / 886.0 < 0.30, "std {std}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = model();
+        let a = m.generate(500, 7);
+        let b = m.generate(500, 7);
+        assert_eq!(a.records, b.records);
+        let c = m.generate(500, 8);
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn constant_in_flight_submission_pattern() {
+        let m = model();
+        let t = m.generate(300, 1);
+        // with 50 slots, exactly 50 probes are submitted at t=0
+        let at_zero = t.records.iter().filter(|r| r.submitted_at == 0.0).count();
+        assert_eq!(at_zero, PROBES_IN_FLIGHT);
+        // submission order is nondecreasing
+        assert!(t
+            .records
+            .windows(2)
+            .all(|w| w[0].submitted_at <= w[1].submitted_at));
+    }
+
+    #[test]
+    fn defective_cdf_saturates_below_one() {
+        let m = model();
+        assert!(m.defective_cdf(9_999.0) <= 0.95 + 1e-9);
+        assert!(m.defective_cdf(0.0) == 0.0);
+        // below the shift, no mass at all
+        assert_eq!(m.defective_cdf(30.0), 0.0);
+    }
+
+    #[test]
+    fn outliers_exceed_threshold() {
+        let m = WeekModel::calibrate("heavy", 500.0, 800.0, 0.33, 50.0, 10_000.0).unwrap();
+        let mut rng = derived_rng(3, 0);
+        let mut saw_outlier = false;
+        for _ in 0..1000 {
+            let x = m.sample_latency(&mut rng);
+            if x >= 10_000.0 {
+                saw_outlier = true;
+            }
+        }
+        assert!(saw_outlier);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = model();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: WeekModel = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.name, m.name);
+        assert!((back.body_mu - m.body_mu).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,182 @@
+//! Non-stationary latency models.
+//!
+//! The paper stresses that production grids exhibit “high and
+//! non-stationary workloads” (§1) yet its analysis treats each week as one
+//! stationary law. This module supplies the missing ingredient for
+//! studying that approximation: a [`DiurnalModel`] whose latency body and
+//! fault ratio oscillate with a configurable period (daytime congestion vs
+//! night-time calm), so one can generate traces that *violate* the
+//! stationarity assumption and measure how much tuned timeouts degrade.
+
+use crate::model::{WeekModel, PROBES_IN_FLIGHT};
+use crate::trace::{ProbeRecord, ProbeStatus, TraceSet};
+use gridstrat_stats::rng::derived_rng;
+use gridstrat_stats::{Distribution, LogNormal, Shifted};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A weekly model whose intensity oscillates over wall-clock time.
+///
+/// At submission time `t`, the body latency is scaled by
+/// `1 + amplitude·sin(2π·t/period)` and the fault ratio by the same factor
+/// (clamped to `[0, 0.95]`) — a first-order model of the diurnal
+/// load pattern every production grid exhibits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiurnalModel {
+    /// The stationary base model (its parameters are the daily average).
+    pub base: WeekModel,
+    /// Relative oscillation amplitude in `[0, 1)`.
+    pub amplitude: f64,
+    /// Oscillation period in seconds (86 400 for a daily cycle).
+    pub period_s: f64,
+}
+
+impl DiurnalModel {
+    /// Creates a diurnal wrapper around a base week.
+    pub fn new(base: WeekModel, amplitude: f64, period_s: f64) -> Result<Self, String> {
+        if !(amplitude.is_finite() && (0.0..1.0).contains(&amplitude)) {
+            return Err(format!("amplitude must be in [0,1), got {amplitude}"));
+        }
+        if !(period_s.is_finite() && period_s > 0.0) {
+            return Err(format!("period must be positive, got {period_s}"));
+        }
+        Ok(DiurnalModel { base, amplitude, period_s })
+    }
+
+    /// The instantaneous intensity factor at time `t` (≥ `1 - amplitude`).
+    pub fn intensity_at(&self, t: f64) -> f64 {
+        1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period_s).sin()
+    }
+
+    /// The instantaneous fault ratio at time `t`.
+    pub fn rho_at(&self, t: f64) -> f64 {
+        (self.base.rho * self.intensity_at(t)).clamp(0.0, 0.95)
+    }
+
+    /// Draws a raw latency for a job submitted at time `t`: the body scale
+    /// (above the shift) is multiplied by the intensity factor.
+    pub fn sample_latency_at<R: Rng + ?Sized>(&self, rng: &mut R, t: f64) -> f64 {
+        let intensity = self.intensity_at(t);
+        if rng.gen::<f64>() < self.rho_at(t) {
+            self.base.outlier_tail().sample(rng)
+        } else {
+            let ln = LogNormal::new(self.base.body_mu, self.base.body_sigma)
+                .expect("validated base model");
+            let body = Shifted::new(ln, self.base.shift_s).expect("validated base model");
+            // scale the queue-wait component, keep the hard floor
+            self.base.shift_s + (body.sample(rng) - self.base.shift_s) * intensity
+        }
+    }
+
+    /// Synthesises a probe trace with the constant-in-flight methodology;
+    /// unlike [`WeekModel::generate`] the latency law drifts with the
+    /// submission instant.
+    pub fn generate(&self, n: usize, seed: u64) -> TraceSet {
+        assert!(n > 0, "cannot generate an empty trace");
+        let mut rng = derived_rng(seed, 1);
+        let slots = PROBES_IN_FLIGHT.min(n);
+        let mut next_submit = vec![0.0f64; slots];
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let slot = i % slots;
+            let submitted_at = next_submit[slot];
+            let raw = self.sample_latency_at(&mut rng, submitted_at);
+            let (latency_s, status) = if raw >= self.base.threshold_s {
+                (self.base.threshold_s, ProbeStatus::TimedOut)
+            } else {
+                (raw, ProbeStatus::Completed)
+            };
+            next_submit[slot] = submitted_at + latency_s;
+            records.push(ProbeRecord { submitted_at, latency_s, status });
+        }
+        records.sort_by(|a, b| {
+            a.submitted_at
+                .partial_cmp(&b.submitted_at)
+                .expect("finite timestamps")
+        });
+        TraceSet::new(format!("{}-diurnal", self.base.name), self.base.threshold_s, records)
+            .expect("generated records are consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WeekModel {
+        WeekModel::calibrate("ns", 500.0, 600.0, 0.10, 150.0, 10_000.0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DiurnalModel::new(base(), 1.0, 86_400.0).is_err());
+        assert!(DiurnalModel::new(base(), -0.1, 86_400.0).is_err());
+        assert!(DiurnalModel::new(base(), 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn intensity_oscillates_around_one() {
+        let m = DiurnalModel::new(base(), 0.4, 86_400.0).unwrap();
+        assert!((m.intensity_at(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.intensity_at(21_600.0) - 1.4).abs() < 1e-9); // quarter period
+        assert!((m.intensity_at(64_800.0) - 0.6).abs() < 1e-9); // three quarters
+        // mean over a full period is 1
+        let mean: f64 = (0..1000)
+            .map(|i| m.intensity_at(i as f64 * 86.4))
+            .sum::<f64>()
+            / 1000.0;
+        assert!((mean - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn amplitude_zero_matches_stationary_statistics() {
+        let m = DiurnalModel::new(base(), 0.0, 86_400.0).unwrap();
+        let t = m.generate(4_000, 3);
+        let s = base().generate(4_000, 3);
+        // not identical records (different RNG stream) but same law
+        assert!((t.body_mean() - s.body_mean()).abs() / s.body_mean() < 0.1);
+        assert!((t.outlier_ratio() - s.outlier_ratio()).abs() < 0.03);
+    }
+
+    #[test]
+    fn peak_phase_is_slower_than_trough_phase() {
+        let m = DiurnalModel::new(base(), 0.6, 86_400.0).unwrap();
+        let trace = m.generate(12_000, 5);
+        // classify records by phase of their submission instant
+        let (mut peak, mut trough) = (Vec::new(), Vec::new());
+        for r in &trace.records {
+            if r.is_outlier() {
+                continue;
+            }
+            let phase = (r.submitted_at / 86_400.0).fract();
+            if (0.1..0.4).contains(&phase) {
+                peak.push(r.latency_s);
+            } else if (0.6..0.9).contains(&phase) {
+                trough.push(r.latency_s);
+            }
+        }
+        assert!(peak.len() > 100 && trough.len() > 100);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&peak) > 1.2 * mean(&trough),
+            "peak {} vs trough {}",
+            mean(&peak),
+            mean(&trough)
+        );
+    }
+
+    #[test]
+    fn latencies_respect_the_floor() {
+        let m = DiurnalModel::new(base(), 0.8, 10_000.0).unwrap();
+        let t = m.generate(3_000, 7);
+        for r in &t.records {
+            assert!(r.latency_s >= 150.0 - 1e-9 || r.is_outlier());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = DiurnalModel::new(base(), 0.5, 86_400.0).unwrap();
+        assert_eq!(m.generate(500, 11).records, m.generate(500, 11).records);
+    }
+}

@@ -1,0 +1,171 @@
+//! Grid-Observatory-style plain-text trace logs.
+//!
+//! The paper (§3.2) plans systematic trace collection through the Grid
+//! Observatory, which archives probe logs as flat text files. This module
+//! defines a simple line-oriented format of that style and a strict parser,
+//! so traces can be exchanged with external tooling:
+//!
+//! ```text
+//! # gridstrat-observatory v1
+//! # name: 2007-36
+//! # threshold_s: 10000
+//! # columns: submitted_at latency_s status
+//! 0 412.7 OK
+//! 3.2 10000 TIMEOUT
+//! ```
+
+use crate::trace::{ProbeRecord, ProbeStatus, TraceError, TraceSet};
+
+/// Format magic header line.
+pub const MAGIC: &str = "# gridstrat-observatory v1";
+
+/// Serialises a trace to the observatory text format.
+pub fn write_observatory(trace: &TraceSet) -> String {
+    let mut out = String::with_capacity(trace.records.len() * 24 + 128);
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("# name: {}\n", trace.name));
+    out.push_str(&format!("# threshold_s: {}\n", trace.threshold_s));
+    out.push_str("# columns: submitted_at latency_s status\n");
+    for r in &trace.records {
+        let status = match r.status {
+            ProbeStatus::Completed => "OK",
+            ProbeStatus::TimedOut => "TIMEOUT",
+        };
+        out.push_str(&format!("{} {} {}\n", r.submitted_at, r.latency_s, status));
+    }
+    out
+}
+
+/// Parses the observatory text format back into a validated [`TraceSet`].
+pub fn parse_observatory(text: &str) -> Result<TraceSet, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == MAGIC => {}
+        _ => return Err(TraceError::Parse(1, format!("missing magic `{MAGIC}`"))),
+    }
+
+    let mut name: Option<String> = None;
+    let mut threshold: Option<f64> = None;
+    let mut records = Vec::new();
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(v) = rest.strip_prefix("name:") {
+                name = Some(v.trim().to_string());
+            } else if let Some(v) = rest.strip_prefix("threshold_s:") {
+                threshold = Some(
+                    v.trim()
+                        .parse::<f64>()
+                        .map_err(|e| TraceError::Parse(lineno, e.to_string()))?,
+                );
+            }
+            // other comments are ignored
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let submitted_at: f64 = it
+            .next()
+            .ok_or_else(|| TraceError::Parse(lineno, "missing submitted_at".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseFloatError| TraceError::Parse(lineno, e.to_string()))?;
+        let latency_s: f64 = it
+            .next()
+            .ok_or_else(|| TraceError::Parse(lineno, "missing latency".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseFloatError| TraceError::Parse(lineno, e.to_string()))?;
+        let status = match it.next() {
+            Some("OK") => ProbeStatus::Completed,
+            Some("TIMEOUT") => ProbeStatus::TimedOut,
+            Some(other) => {
+                return Err(TraceError::Parse(lineno, format!("bad status `{other}`")))
+            }
+            None => return Err(TraceError::Parse(lineno, "missing status".into())),
+        };
+        if it.next().is_some() {
+            return Err(TraceError::Parse(lineno, "trailing fields".into()));
+        }
+        records.push(ProbeRecord { submitted_at, latency_s, status });
+    }
+
+    let name = name.ok_or_else(|| TraceError::Parse(0, "missing `# name:` header".into()))?;
+    let threshold =
+        threshold.ok_or_else(|| TraceError::Parse(0, "missing `# threshold_s:` header".into()))?;
+    TraceSet::new(name, threshold, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weeks::WeekId;
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let t = WeekId::W2007_52.generate(17);
+        let text = write_observatory(&t);
+        let back = parse_observatory(&text).unwrap();
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.threshold_s, t.threshold_s);
+        assert_eq!(back.len(), t.len());
+        for (a, b) in back.records.iter().zip(&t.records) {
+            assert!((a.submitted_at - b.submitted_at).abs() < 1e-9);
+            assert!((a.latency_s - b.latency_s).abs() < 1e-9);
+            assert_eq!(a.status, b.status);
+        }
+    }
+
+    #[test]
+    fn rejects_missing_magic() {
+        assert!(matches!(
+            parse_observatory("nope\n"),
+            Err(TraceError::Parse(1, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_headers() {
+        let text = format!("{MAGIC}\n1 2 OK\n");
+        assert!(parse_observatory(&text).is_err());
+        let text = format!("{MAGIC}\n# name: x\n1 2 OK\n");
+        assert!(parse_observatory(&text).is_err()); // missing threshold
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        let head = format!("{MAGIC}\n# name: x\n# threshold_s: 100\n");
+        for bad in ["abc 2 OK", "1 abc OK", "1 2 WAT", "1 2", "1 2 OK extra"] {
+            let text = format!("{head}{bad}\n");
+            assert!(
+                matches!(parse_observatory(&text), Err(TraceError::Parse(_, _))),
+                "should reject `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn tolerates_blank_lines_and_comments() {
+        let text = format!(
+            "{MAGIC}\n# name: mini\n# threshold_s: 100\n# a comment\n\n1 2 OK\n\n3 100 TIMEOUT\n"
+        );
+        let t = parse_observatory(&text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.n_outliers(), 1);
+    }
+
+    #[test]
+    fn validates_semantics_after_parse() {
+        // latency below threshold but marked TIMEOUT must be rejected by
+        // TraceSet validation
+        let text = format!("{MAGIC}\n# name: x\n# threshold_s: 100\n1 50 TIMEOUT\n");
+        assert!(matches!(
+            parse_observatory(&text),
+            Err(TraceError::InvalidRecord(0))
+        ));
+    }
+}

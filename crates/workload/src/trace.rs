@@ -1,0 +1,358 @@
+//! Probe-job trace data model.
+//!
+//! Mirrors the paper's measurement records (§3.2): for each probe job, the
+//! submission date, the final status and the total duration were logged;
+//! probes exceeding the 10 000 s timeout were cancelled and recorded as
+//! outliers.
+
+use gridstrat_stats::{Ecdf, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Final status of one probe job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeStatus {
+    /// The job started executing; `latency_s` is its measured grid latency.
+    Completed,
+    /// The job was still waiting at the censoring threshold and was
+    /// cancelled; `latency_s` holds the threshold value.
+    TimedOut,
+}
+
+/// One probe-job measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// Submission instant, seconds since the start of the trace.
+    pub submitted_at: f64,
+    /// Measured grid latency in seconds (threshold value for timed-out jobs).
+    pub latency_s: f64,
+    /// Final status.
+    pub status: ProbeStatus,
+}
+
+impl ProbeRecord {
+    /// True if the probe was censored (an outlier).
+    pub fn is_outlier(&self) -> bool {
+        self.status == ProbeStatus::TimedOut
+    }
+}
+
+/// A named set of probe measurements with its censoring threshold.
+///
+/// The unit of analysis throughout the reproduction: every strategy model is
+/// estimated from one `TraceSet` (one "week" in the paper's terminology).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Dataset name, e.g. `"2006-IX"` or `"2007-36"`.
+    pub name: String,
+    /// Censoring threshold in seconds (10 000 in the paper).
+    pub threshold_s: f64,
+    /// The probe records, in submission order.
+    pub records: Vec<ProbeRecord>,
+}
+
+/// Error validating or parsing a trace set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace contains no records.
+    Empty,
+    /// A record is inconsistent (negative latency, completed latency at or
+    /// above the threshold, timed-out latency below the threshold, …).
+    InvalidRecord(usize),
+    /// Parse failure with line number and message.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace contains no records"),
+            TraceError::InvalidRecord(i) => write!(f, "record {i} is inconsistent"),
+            TraceError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl TraceSet {
+    /// Creates a trace set, validating record consistency.
+    pub fn new(
+        name: impl Into<String>,
+        threshold_s: f64,
+        records: Vec<ProbeRecord>,
+    ) -> Result<Self, TraceError> {
+        if records.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for (i, r) in records.iter().enumerate() {
+            let ok = r.submitted_at.is_finite()
+                && r.submitted_at >= 0.0
+                && r.latency_s.is_finite()
+                && r.latency_s >= 0.0
+                && match r.status {
+                    ProbeStatus::Completed => r.latency_s < threshold_s,
+                    ProbeStatus::TimedOut => r.latency_s >= threshold_s,
+                };
+            if !ok {
+                return Err(TraceError::InvalidRecord(i));
+            }
+        }
+        Ok(TraceSet { name: name.into(), threshold_s, records })
+    }
+
+    /// Number of probes (body + outliers).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if there are no records (never true for a validated trace).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Latencies of non-outlier probes.
+    pub fn body_latencies(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| !r.is_outlier())
+            .map(|r| r.latency_s)
+            .collect()
+    }
+
+    /// Number of censored probes.
+    pub fn n_outliers(&self) -> usize {
+        self.records.iter().filter(|r| r.is_outlier()).count()
+    }
+
+    /// Observed outlier ratio `ρ̂`.
+    pub fn outlier_ratio(&self) -> f64 {
+        self.n_outliers() as f64 / self.len() as f64
+    }
+
+    /// Mean of non-outlier latencies (paper's “mean < 10⁵” column).
+    pub fn body_mean(&self) -> f64 {
+        Summary::from_slice(&self.body_latencies()).mean()
+    }
+
+    /// Population standard deviation of non-outlier latencies (`σ_R`).
+    pub fn body_std(&self) -> f64 {
+        Summary::from_slice(&self.body_latencies()).std()
+    }
+
+    /// Lower bound of the uncensored mean, counting each outlier at the
+    /// threshold (paper's “mean with 10⁵” column).
+    pub fn censored_mean_lower_bound(&self) -> f64 {
+        let sum: f64 = self
+            .records
+            .iter()
+            .map(|r| if r.is_outlier() { self.threshold_s } else { r.latency_s })
+            .sum();
+        sum / self.len() as f64
+    }
+
+    /// Builds the defective empirical CDF `F̃_R` of this trace.
+    pub fn ecdf(&self) -> Result<Ecdf, gridstrat_stats::ecdf::EcdfError> {
+        let mut body = self.body_latencies();
+        body.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Ecdf::from_sorted_body_and_outliers(body, self.n_outliers(), self.threshold_s)
+    }
+
+    /// Concatenates several traces into one (the paper's `2007/08` union
+    /// row). All inputs must share the same threshold.
+    pub fn union(name: impl Into<String>, parts: &[&TraceSet]) -> Result<Self, TraceError> {
+        let mut records = Vec::new();
+        let mut threshold = None;
+        for p in parts {
+            match threshold {
+                None => threshold = Some(p.threshold_s),
+                Some(t) => assert_eq!(t, p.threshold_s, "mismatched censoring thresholds"),
+            }
+            records.extend_from_slice(&p.records);
+        }
+        TraceSet::new(name, threshold.unwrap_or(crate::CENSOR_THRESHOLD_S), records)
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialisation cannot fail")
+    }
+
+    /// Parses from JSON and re-validates.
+    pub fn from_json(s: &str) -> Result<Self, TraceError> {
+        let raw: TraceSet =
+            serde_json::from_str(s).map_err(|e| TraceError::Parse(0, e.to_string()))?;
+        TraceSet::new(raw.name, raw.threshold_s, raw.records)
+    }
+
+    /// Writes a CSV representation (`submitted_at,latency_s,status`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 32 + 64);
+        out.push_str("submitted_at,latency_s,status\n");
+        for r in &self.records {
+            let status = match r.status {
+                ProbeStatus::Completed => "completed",
+                ProbeStatus::TimedOut => "timedout",
+            };
+            out.push_str(&format!("{},{},{}\n", r.submitted_at, r.latency_s, status));
+        }
+        out
+    }
+
+    /// Parses the CSV representation produced by [`TraceSet::to_csv`].
+    pub fn from_csv(
+        name: impl Into<String>,
+        threshold_s: f64,
+        csv: &str,
+    ) -> Result<Self, TraceError> {
+        let mut records = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            if lineno == 0 || line.trim().is_empty() {
+                continue; // header / blank
+            }
+            let mut it = line.split(',');
+            let parse_f64 = |s: Option<&str>, lineno: usize| -> Result<f64, TraceError> {
+                s.ok_or_else(|| TraceError::Parse(lineno + 1, "missing field".into()))?
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|e| TraceError::Parse(lineno + 1, e.to_string()))
+            };
+            let submitted_at = parse_f64(it.next(), lineno)?;
+            let latency_s = parse_f64(it.next(), lineno)?;
+            let status = match it
+                .next()
+                .ok_or_else(|| TraceError::Parse(lineno + 1, "missing status".into()))?
+                .trim()
+            {
+                "completed" => ProbeStatus::Completed,
+                "timedout" => ProbeStatus::TimedOut,
+                other => {
+                    return Err(TraceError::Parse(lineno + 1, format!("bad status `{other}`")))
+                }
+            };
+            records.push(ProbeRecord { submitted_at, latency_s, status });
+        }
+        TraceSet::new(name, threshold_s, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> TraceSet {
+        TraceSet::new(
+            "test",
+            100.0,
+            vec![
+                ProbeRecord { submitted_at: 0.0, latency_s: 10.0, status: ProbeStatus::Completed },
+                ProbeRecord { submitted_at: 1.0, latency_s: 20.0, status: ProbeStatus::Completed },
+                ProbeRecord { submitted_at: 2.0, latency_s: 100.0, status: ProbeStatus::TimedOut },
+                ProbeRecord { submitted_at: 3.0, latency_s: 30.0, status: ProbeStatus::Completed },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_inconsistencies() {
+        assert_eq!(TraceSet::new("x", 100.0, vec![]).unwrap_err(), TraceError::Empty);
+        // completed at threshold
+        let bad = vec![ProbeRecord {
+            submitted_at: 0.0,
+            latency_s: 100.0,
+            status: ProbeStatus::Completed,
+        }];
+        assert_eq!(
+            TraceSet::new("x", 100.0, bad).unwrap_err(),
+            TraceError::InvalidRecord(0)
+        );
+        // timed out below threshold
+        let bad = vec![ProbeRecord {
+            submitted_at: 0.0,
+            latency_s: 5.0,
+            status: ProbeStatus::TimedOut,
+        }];
+        assert_eq!(
+            TraceSet::new("x", 100.0, bad).unwrap_err(),
+            TraceError::InvalidRecord(0)
+        );
+        // negative submission time
+        let bad = vec![ProbeRecord {
+            submitted_at: -1.0,
+            latency_s: 5.0,
+            status: ProbeStatus::Completed,
+        }];
+        assert!(TraceSet::new("x", 100.0, bad).is_err());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.n_outliers(), 1);
+        assert!((t.outlier_ratio() - 0.25).abs() < 1e-12);
+        assert!((t.body_mean() - 20.0).abs() < 1e-12);
+        // censored mean bound: (10+20+100+30)/4 = 40
+        assert!((t.censored_mean_lower_bound() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_roundtrip() {
+        let t = sample_trace();
+        let e = t.ecdf().unwrap();
+        assert_eq!(e.n_total(), 4);
+        assert_eq!(e.n_body(), 3);
+        assert!((e.value(20.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample_trace();
+        let s = t.to_json();
+        let back = TraceSet::from_json(&s).unwrap();
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.records, t.records);
+    }
+
+    #[test]
+    fn json_revalidates() {
+        let mut t = sample_trace();
+        t.records[0].latency_s = -5.0; // corrupt after validation
+        let s = serde_json::to_string(&t).unwrap();
+        assert!(TraceSet::from_json(&s).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = sample_trace();
+        let csv = t.to_csv();
+        let back = TraceSet::from_csv("test", 100.0, &csv).unwrap();
+        assert_eq!(back.records, t.records);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(matches!(
+            TraceSet::from_csv("x", 100.0, "h\n1,abc,completed\n"),
+            Err(TraceError::Parse(2, _))
+        ));
+        assert!(matches!(
+            TraceSet::from_csv("x", 100.0, "h\n1,2,unknown\n"),
+            Err(TraceError::Parse(2, _))
+        ));
+        assert!(matches!(
+            TraceSet::from_csv("x", 100.0, "h\n1,2\n"),
+            Err(TraceError::Parse(2, _))
+        ));
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = sample_trace();
+        let b = sample_trace();
+        let u = TraceSet::union("both", &[&a, &b]).unwrap();
+        assert_eq!(u.len(), 8);
+        assert_eq!(u.n_outliers(), 2);
+        assert!((u.body_mean() - 20.0).abs() < 1e-12);
+    }
+}

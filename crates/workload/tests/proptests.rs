@@ -1,0 +1,138 @@
+//! Property-based tests for the trace model: serialization round-trips on
+//! arbitrary valid traces and calibration correctness over the parameter
+//! space.
+
+use gridstrat_workload::observatory::{parse_observatory, write_observatory};
+use gridstrat_workload::{ProbeRecord, ProbeStatus, TraceSet, WeekModel};
+use proptest::prelude::*;
+
+const THRESHOLD: f64 = 10_000.0;
+
+fn arb_record() -> impl Strategy<Value = ProbeRecord> {
+    (0.0f64..1e6, prop_oneof![Just(true), Just(false)], 0.01f64..9_999.0).prop_map(
+        |(submitted_at, outlier, lat)| {
+            if outlier {
+                ProbeRecord {
+                    submitted_at,
+                    latency_s: THRESHOLD,
+                    status: ProbeStatus::TimedOut,
+                }
+            } else {
+                ProbeRecord { submitted_at, latency_s: lat, status: ProbeStatus::Completed }
+            }
+        },
+    )
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceSet> {
+    proptest::collection::vec(arb_record(), 1..60)
+        .prop_map(|records| TraceSet::new("prop-trace", THRESHOLD, records).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn json_roundtrip_is_identity(trace in arb_trace()) {
+        let back = TraceSet::from_json(&trace.to_json()).unwrap();
+        prop_assert_eq!(back.records, trace.records);
+        prop_assert_eq!(back.threshold_s, trace.threshold_s);
+    }
+
+    #[test]
+    fn csv_roundtrip_is_identity(trace in arb_trace()) {
+        let back = TraceSet::from_csv("prop-trace", THRESHOLD, &trace.to_csv()).unwrap();
+        prop_assert_eq!(back.records.len(), trace.records.len());
+        for (a, b) in back.records.iter().zip(&trace.records) {
+            prop_assert!((a.submitted_at - b.submitted_at).abs() < 1e-9);
+            prop_assert!((a.latency_s - b.latency_s).abs() < 1e-9);
+            prop_assert_eq!(a.status, b.status);
+        }
+    }
+
+    #[test]
+    fn observatory_roundtrip_is_identity(trace in arb_trace()) {
+        let back = parse_observatory(&write_observatory(&trace)).unwrap();
+        prop_assert_eq!(back.records.len(), trace.records.len());
+        for (a, b) in back.records.iter().zip(&trace.records) {
+            prop_assert!((a.latency_s - b.latency_s).abs() < 1e-9);
+            prop_assert_eq!(a.status, b.status);
+        }
+    }
+
+    #[test]
+    fn statistics_are_consistent(trace in arb_trace()) {
+        let n_out = trace.n_outliers();
+        prop_assert!(n_out <= trace.len());
+        prop_assert!((trace.outlier_ratio() - n_out as f64 / trace.len() as f64).abs() < 1e-12);
+        if n_out < trace.len() {
+            let mean = trace.body_mean();
+            prop_assert!(mean > 0.0 && mean < THRESHOLD);
+            // censored bound dominates body mean iff there are outliers
+            let bound = trace.censored_mean_lower_bound();
+            if n_out > 0 {
+                prop_assert!(bound > mean);
+            } else {
+                prop_assert!((bound - mean).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ecdf_matches_manual_counts(trace in arb_trace(), t in 0.0f64..12_000.0) {
+        prop_assume!(trace.n_outliers() < trace.len());
+        let e = trace.ecdf().unwrap();
+        let manual = trace
+            .records
+            .iter()
+            .filter(|r| !r.is_outlier() && r.latency_s <= t)
+            .count() as f64
+            / trace.len() as f64;
+        prop_assert!((e.value(t) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_reproduces_moments(
+        mean in 200.0f64..900.0,
+        cv in 0.3f64..2.5,
+        rho in 0.0f64..0.5,
+        shift_frac in 0.0f64..0.8,
+    ) {
+        let sd = mean * cv;
+        let shift = shift_frac * mean * 0.9;
+        let m = WeekModel::calibrate("prop", mean, sd, rho, shift, THRESHOLD).unwrap();
+        prop_assert!((m.body_mean() - mean).abs() < 1e-6 * mean);
+        prop_assert!((m.body_std() - sd).abs() < 1e-6 * sd);
+        prop_assert!((m.rho - rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_traces_are_valid_and_deterministic(
+        seed in 0u64..500,
+        n in 1usize..300,
+    ) {
+        let m = WeekModel::calibrate("prop", 500.0, 600.0, 0.15, 100.0, THRESHOLD).unwrap();
+        let a = m.generate(n, seed);
+        prop_assert_eq!(a.len(), n);
+        let b = m.generate(n, seed);
+        prop_assert_eq!(&a.records, &b.records);
+        // validation invariant: statuses match the censoring threshold
+        for r in &a.records {
+            match r.status {
+                ProbeStatus::Completed => prop_assert!(r.latency_s < THRESHOLD),
+                ProbeStatus::TimedOut => prop_assert!(r.latency_s >= THRESHOLD),
+            }
+        }
+    }
+
+    #[test]
+    fn defective_cdf_bounded_by_one_minus_rho(
+        rho in 0.0f64..0.6,
+        t in 0.0f64..THRESHOLD,
+    ) {
+        let m = WeekModel::calibrate("prop", 500.0, 600.0, rho, 100.0, THRESHOLD).unwrap();
+        let v = m.defective_cdf(t);
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= 1.0 - rho + 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! A biomed-style application run: hundreds of jobs under each strategy.
+//!
+//! ```text
+//! cargo run --release --example biomed_workflow
+//! ```
+//!
+//! The paper's motivation (§1) is applications submitting *many* jobs — a
+//! medical-imaging workflow on the biomed VO typically fans out hundreds of
+//! independent tasks. This example executes such a batch against the
+//! discrete-event grid (oracle mode, calibrated to week 2007-51) under the
+//! three strategies via the Monte-Carlo executor and reports, per strategy:
+//! mean per-task latency, the batch makespan proxy (slowest task), and the
+//! submission overhead the grid has to absorb.
+
+use gridstrat::prelude::*;
+
+/// Number of tasks in the application batch (each Monte-Carlo trial is one
+/// task — the executor's trials double as the workflow's fan-out).
+const TASKS: usize = 400;
+
+fn main() {
+    let week = WeekId::W2007_51;
+    let model = week.model();
+    println!(
+        "application: {TASKS} independent tasks on an EGEE-like grid (week {}, ρ = {:.0}%)",
+        week.name(),
+        100.0 * week.targets().rho
+    );
+
+    // tune every strategy on the week's synthetic trace, like a client
+    // wrapper would from last week's probes
+    let trace = week.generate(0xE6EE);
+    let fitted = EmpiricalModel::from_trace(&trace).expect("trace is non-degenerate");
+    let single = SingleResubmission::optimize(&fitted);
+    let multi3 = MultipleSubmission::optimize(&fitted, 3);
+    let delayed = optimize_delayed_delta_cost(&fitted);
+    let (d_t0, d_tinf) = match delayed.params {
+        StrategyParams::Delayed { t0, t_inf } => (t0, t_inf),
+        _ => unreachable!("∆cost optimizer returns delayed parameters"),
+    };
+
+    let specs: Vec<(&str, StrategyParams)> = vec![
+        ("no strategy (wait forever)", StrategyParams::Single { t_inf: CENSOR_THRESHOLD_S }),
+        ("single resubmission", StrategyParams::Single { t_inf: single.timeout }),
+        ("multiple submission b=3", StrategyParams::Multiple { b: 3, t_inf: multi3.timeout }),
+        ("delayed resubmission", StrategyParams::Delayed { t0: d_t0, t_inf: d_tinf }),
+    ];
+
+    println!(
+        "\n{:<28} {:>10} {:>10} {:>12} {:>12}",
+        "strategy", "mean J", "max J", "subs/task", "N_// (real)"
+    );
+    for (name, spec) in specs {
+        let executor = StrategyExecutor::new(
+            model.clone(),
+            MonteCarloConfig { trials: TASKS, seed: 0xB10 },
+        );
+        let est = executor.run(spec);
+        // `max J` across tasks is the batch's makespan bottleneck when all
+        // tasks start together
+        println!(
+            "{:<28} {:>9.0}s {:>9.0}s {:>12.2} {:>12.2}",
+            name,
+            est.mean_j,
+            est.mean_j + 3.0 * est.std_j, // 3σ proxy for the slowest task
+            est.mean_submissions,
+            est.mean_parallel,
+        );
+        if est.completed_trials < TASKS {
+            println!(
+                "  ! {} of {TASKS} tasks never started (lost jobs, no resubmission)",
+                TASKS - est.completed_trials
+            );
+        }
+    }
+
+    println!(
+        "\nreading: multiple submission minimises latency but multiplies grid load; \
+         the delayed strategy keeps latency near the single optimum with ~1 job in \
+         flight — the paper's ∆cost trade-off on a live batch."
+    );
+
+    // ---- batch makespan: where the variance reduction really pays -------
+    // the batch finishes when its SLOWEST task starts, so the makespan is
+    // a pure tail statistic of J — computed here with the fast analytic
+    // J-sampler instead of the event simulator
+    let ecdf = trace.ecdf().expect("valid trace");
+    println!(
+        "\nbatch makespan (latency part, {TASKS} tasks, 400 replications):\n{:<28} {:>12} {:>12}",
+        "strategy", "mean", "p95"
+    );
+    for (name, spec) in [
+        ("single resubmission", StrategyParams::Single { t_inf: single.timeout }),
+        ("multiple submission b=3", StrategyParams::Multiple { b: 3, t_inf: multi3.timeout }),
+        ("delayed resubmission", StrategyParams::Delayed { t0: d_t0, t_inf: d_tinf }),
+    ] {
+        let sampler = JSampler::new(&ecdf, spec);
+        let batch = batch_outcome(&sampler, TASKS, 400, 0xBA7C);
+        println!(
+            "{:<28} {:>11.0}s {:>11.0}s",
+            name, batch.mean_makespan, batch.p95_makespan
+        );
+    }
+    println!(
+        "\nthe makespan gap between strategies is far wider than the mean-latency \
+         gap: collapsing σ_J (Table 2) is what makes many-task applications finish."
+    );
+}

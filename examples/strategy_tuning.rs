@@ -1,0 +1,78 @@
+//! Week-over-week strategy tuning — the paper's “practical implementation”
+//! protocol (§7.2, Table 6).
+//!
+//! ```text
+//! cargo run --release --example strategy_tuning
+//! ```
+//!
+//! A production client cannot know this week's optimal `(t0, t∞)`; it can
+//! only estimate parameters from *last* week's probes. This example walks
+//! the 2007/2008 weeks chronologically: each week, tune the delayed
+//! strategy's `∆cost` on the previous week's trace, apply it to the current
+//! week, and compare with the (unknowable) in-week optimum.
+
+use gridstrat::prelude::*;
+
+fn main() {
+    let seed = 0xE6EE;
+    let weeks = WeekId::WEEKLY;
+
+    println!(
+        "{:<10} {:>14} {:>14} {:>10} {:>10} {:>8}",
+        "week", "tuned-on-prev", "in-week opt", "E_J prev", "E_J opt", "penalty"
+    );
+
+    let mut tuned_pairs: Vec<(f64, f64)> = Vec::new();
+    let mut penalties: Vec<f64> = Vec::new();
+
+    for (i, week) in weeks.iter().enumerate() {
+        let model = EmpiricalModel::from_trace(&week.generate(seed)).expect("valid trace");
+        let single = SingleResubmission::optimize(&model);
+        let own = optimize_delayed_delta_cost(&model);
+        let (own_t0, own_tinf) = match own.params {
+            StrategyParams::Delayed { t0, t_inf } => (t0, t_inf),
+            _ => unreachable!("∆cost optimizer returns delayed parameters"),
+        };
+        tuned_pairs.push((own_t0, own_tinf));
+
+        if i == 0 {
+            println!(
+                "{:<10} {:>14} {:>7.0},{:>5.0} {:>10} {:>9.0}s {:>8}",
+                week.name(),
+                "(first week)",
+                own_t0,
+                own_tinf,
+                "-",
+                own.expectation,
+                "-"
+            );
+            continue;
+        }
+
+        // apply the PREVIOUS week's optimum to THIS week's model
+        let (p_t0, p_tinf) = tuned_pairs[i - 1];
+        let transferred = delayed_delta_cost_at(&model, p_t0, p_tinf, single.expectation);
+        let penalty_pct = (transferred.delta_cost - own.delta_cost) / own.delta_cost * 100.0;
+        penalties.push(penalty_pct);
+
+        println!(
+            "{:<10} {:>7.0},{:>5.0} {:>7.0},{:>5.0} {:>9.0}s {:>9.0}s {:>7.1}%",
+            week.name(),
+            p_t0,
+            p_tinf,
+            own_t0,
+            own_tinf,
+            transferred.expectation,
+            own.expectation,
+            penalty_pct,
+        );
+    }
+
+    let mean = penalties.iter().sum::<f64>() / penalties.len() as f64;
+    let max = penalties.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nusing last week's parameters costs {mean:.1}% in ∆cost on average \
+         (worst week {max:.1}%) — the paper reports ≤ 6% against the previous \
+         week, confirming the protocol is deployable."
+    );
+}
