@@ -15,24 +15,48 @@ use gridstrat_workload::WeekId;
 fn bench_fast_experiments(c: &mut Criterion) {
     let mut g = c.benchmark_group("repro");
     g.sample_size(10);
-    g.bench_function("figure1", |b| b.iter(|| black_box(experiments::figure1(DEFAULT_SEED))));
-    g.bench_function("table1", |b| b.iter(|| black_box(experiments::table1(DEFAULT_SEED))));
-    g.bench_function("figure2", |b| b.iter(|| black_box(experiments::figure2(DEFAULT_SEED))));
-    g.bench_function("table2", |b| b.iter(|| black_box(experiments::table2(DEFAULT_SEED))));
-    g.bench_function("figure4", |b| b.iter(|| black_box(experiments::figure4(DEFAULT_SEED))));
-    g.bench_function("figure5", |b| b.iter(|| black_box(experiments::figure5(DEFAULT_SEED))));
-    g.bench_function("table3", |b| b.iter(|| black_box(experiments::table3(DEFAULT_SEED))));
-    g.bench_function("figure6", |b| b.iter(|| black_box(experiments::figure6(DEFAULT_SEED))));
-    g.bench_function("figure7", |b| b.iter(|| black_box(experiments::figure7(DEFAULT_SEED))));
-    g.bench_function("table4", |b| b.iter(|| black_box(experiments::table4(DEFAULT_SEED))));
-    g.bench_function("figure8", |b| b.iter(|| black_box(experiments::figure8(DEFAULT_SEED))));
+    g.bench_function("figure1", |b| {
+        b.iter(|| black_box(experiments::figure1(DEFAULT_SEED)))
+    });
+    g.bench_function("table1", |b| {
+        b.iter(|| black_box(experiments::table1(DEFAULT_SEED)))
+    });
+    g.bench_function("figure2", |b| {
+        b.iter(|| black_box(experiments::figure2(DEFAULT_SEED)))
+    });
+    g.bench_function("table2", |b| {
+        b.iter(|| black_box(experiments::table2(DEFAULT_SEED)))
+    });
+    g.bench_function("figure4", |b| {
+        b.iter(|| black_box(experiments::figure4(DEFAULT_SEED)))
+    });
+    g.bench_function("figure5", |b| {
+        b.iter(|| black_box(experiments::figure5(DEFAULT_SEED)))
+    });
+    g.bench_function("table3", |b| {
+        b.iter(|| black_box(experiments::table3(DEFAULT_SEED)))
+    });
+    g.bench_function("figure6", |b| {
+        b.iter(|| black_box(experiments::figure6(DEFAULT_SEED)))
+    });
+    g.bench_function("figure7", |b| {
+        b.iter(|| black_box(experiments::figure7(DEFAULT_SEED)))
+    });
+    g.bench_function("table4", |b| {
+        b.iter(|| black_box(experiments::table4(DEFAULT_SEED)))
+    });
+    g.bench_function("figure8", |b| {
+        b.iter(|| black_box(experiments::figure8(DEFAULT_SEED)))
+    });
     g.finish();
 }
 
 fn bench_figure3(c: &mut Criterion) {
     let mut g = c.benchmark_group("repro_medium");
     g.sample_size(10);
-    g.bench_function("figure3", |b| b.iter(|| black_box(experiments::figure3(DEFAULT_SEED))));
+    g.bench_function("figure3", |b| {
+        b.iter(|| black_box(experiments::figure3(DEFAULT_SEED)))
+    });
     g.finish();
 }
 
@@ -49,5 +73,10 @@ fn bench_heavy_cores(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fast_experiments, bench_figure3, bench_heavy_cores);
+criterion_group!(
+    benches,
+    bench_fast_experiments,
+    bench_figure3,
+    bench_heavy_cores
+);
 criterion_main!(benches);

@@ -45,7 +45,13 @@ fn bench_expectations(c: &mut Criterion) {
     });
     for bb in [2u32, 5, 10] {
         g.bench_with_input(BenchmarkId::new("multiple_eq3", bb), &bb, |bch, &bb| {
-            bch.iter(|| black_box(MultipleSubmission::expectation(&model, bb, black_box(800.0))))
+            bch.iter(|| {
+                black_box(MultipleSubmission::expectation(
+                    &model,
+                    bb,
+                    black_box(800.0),
+                ))
+            })
         });
     }
     g.bench_function("delayed_eq5", |b| {
@@ -115,7 +121,10 @@ fn bench_analysis_extensions(c: &mut Criterion) {
     g.bench_function("hazard_profile_10bins", |b| {
         b.iter(|| black_box(HazardProfile::from_ecdf(black_box(&ecdf), 10)))
     });
-    let spec = StrategyParams::Delayed { t0: 339.0, t_inf: 485.0 };
+    let spec = StrategyParams::Delayed {
+        t0: 339.0,
+        t_inf: 485.0,
+    };
     let dist = JDistribution::new(&model, spec).unwrap();
     g.bench_function("j_distribution_cdf", |b| {
         b.iter(|| black_box(dist.cdf(black_box(1_234.0))))

@@ -44,14 +44,28 @@ fn bench_strategy_trials(c: &mut Criterion) {
     g.sample_size(10);
     let specs = [
         ("single", StrategyParams::Single { t_inf: 700.0 }),
-        ("multiple_b3", StrategyParams::Multiple { b: 3, t_inf: 800.0 }),
-        ("delayed", StrategyParams::Delayed { t0: 400.0, t_inf: 550.0 }),
+        (
+            "multiple_b3",
+            StrategyParams::Multiple { b: 3, t_inf: 800.0 },
+        ),
+        (
+            "delayed",
+            StrategyParams::Delayed {
+                t0: 400.0,
+                t_inf: 550.0,
+            },
+        ),
     ];
     for (name, spec) in specs {
         g.bench_function(format!("{name}_500_trials"), |b| {
             b.iter(|| {
-                let ex =
-                    StrategyExecutor::new(week(), MonteCarloConfig { trials: 500, seed: 3 });
+                let ex = StrategyExecutor::new(
+                    week(),
+                    MonteCarloConfig {
+                        trials: 500,
+                        seed: 3,
+                    },
+                );
                 black_box(ex.run(spec))
             })
         });

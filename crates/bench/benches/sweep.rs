@@ -1,0 +1,86 @@
+//! Criterion benches for the batched [`ScenarioSweep`] runner — the
+//! throughput trajectory every future scaling PR (sharding, caching,
+//! multi-backend) is measured against.
+//!
+//! Reported unit: one full `run()` of a fixed sweep. Divide by
+//! `n_trials_total()` (printed at startup) for per-trial cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridstrat_core::cost::StrategyParams;
+use gridstrat_core::executor::{GridScenario, MonteCarloConfig, ScenarioSweep};
+use gridstrat_workload::WeekId;
+
+fn strategies() -> Vec<StrategyParams> {
+    vec![
+        StrategyParams::Single { t_inf: 700.0 },
+        StrategyParams::Multiple { b: 3, t_inf: 800.0 },
+        StrategyParams::Delayed {
+            t0: 400.0,
+            t_inf: 560.0,
+        },
+    ]
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_sweep");
+    g.sample_size(10);
+    for &trials in &[100usize, 500] {
+        let sweep = ScenarioSweep::new(
+            strategies(),
+            vec![WeekId::W2006Ix, WeekId::W2007_51],
+            vec![
+                GridScenario::baseline(),
+                GridScenario::new("2x-faults", 2.0, 1.0),
+            ],
+            MonteCarloConfig {
+                trials,
+                seed: 0xBE7C,
+            },
+        );
+        println!(
+            "scenario_sweep/run/{trials}: {} cells, {} total trials per run()",
+            sweep.n_cells(),
+            sweep.n_trials_total()
+        );
+        g.bench_with_input(BenchmarkId::new("run", trials), &sweep, |b, sweep| {
+            b.iter(|| black_box(sweep.run()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sweep_single_cell_overhead(c: &mut Criterion) {
+    // one-cell sweep vs the same trials through StrategyExecutor: the
+    // batching layer should cost nothing beyond the trials themselves
+    use gridstrat_core::executor::StrategyExecutor;
+
+    let mut g = c.benchmark_group("sweep_overhead");
+    g.sample_size(10);
+    let cfg = MonteCarloConfig {
+        trials: 500,
+        seed: 0xBE7C,
+    };
+    let sweep = ScenarioSweep::over_strategies(
+        vec![StrategyParams::Single { t_inf: 700.0 }],
+        WeekId::W2006Ix,
+        cfg,
+    );
+    g.bench_function("one_cell_sweep_500_trials", |b| {
+        b.iter(|| black_box(sweep.run()))
+    });
+    let week = WeekId::W2006Ix.model();
+    g.bench_function("executor_500_trials", |b| {
+        b.iter(|| {
+            let ex = StrategyExecutor::new(week.clone(), cfg);
+            black_box(ex.run(StrategyParams::Single { t_inf: 700.0 }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_throughput,
+    bench_sweep_single_cell_overhead
+);
+criterion_main!(benches);

@@ -21,7 +21,8 @@ fn usage() -> &'static str {
     "usage: repro [--seed N] [--out DIR] [--list] <experiment ...|all>\n\
      experiments: figure1 table1 figure2 table2 figure3 figure4 figure5 table3\n\
                   figure6 figure7 table4 figure8 table5 table6\n\
-     extensions:  npar_ablation model_fits"
+     extensions:  npar_ablation model_fits bootstrap_ci hazard nonstationary\n\
+                  scenario_sweep"
 }
 
 fn main() -> ExitCode {
@@ -85,11 +86,18 @@ fn main() -> ExitCode {
                 for l in &lines[..PREVIEW] {
                     println!("{l}");
                 }
-                println!("… ({} more rows; full series in CSV)", lines.len() - PREVIEW);
+                println!(
+                    "… ({} more rows; full series in CSV)",
+                    lines.len() - PREVIEW
+                );
             } else {
                 print!("{rendered}");
             }
-            let suffix = if tables.len() > 1 { format!("_{}", i + 1) } else { String::new() };
+            let suffix = if tables.len() > 1 {
+                format!("_{}", i + 1)
+            } else {
+                String::new()
+            };
             let path = out_dir.join(format!("{id}{suffix}.csv"));
             if let Err(e) = table.write_csv(&path) {
                 eprintln!("failed writing {}: {e}", path.display());
@@ -97,7 +105,10 @@ fn main() -> ExitCode {
             }
             println!("[csv] {}", path.display());
         }
-        eprintln!("[{id}] done in {:.1}s (seed {seed:#x})", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{id}] done in {:.1}s (seed {seed:#x})",
+            started.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

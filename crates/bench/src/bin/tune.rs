@@ -22,7 +22,8 @@ use gridstrat_workload::observatory::parse_observatory;
 use gridstrat_workload::{TraceSet, WeekId};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: tune [--format observatory|json|csv] [--threshold S] [--demo] [TRACE_FILE]";
+const USAGE: &str =
+    "usage: tune [--format observatory|json|csv] [--threshold S] [--demo] [TRACE_FILE]";
 
 fn main() -> ExitCode {
     let mut format = "observatory".to_string();
@@ -100,7 +101,11 @@ fn main() -> ExitCode {
         "\nhazard trend: {:?}; outlier mass: {:.1}% → resubmission {}",
         profile.trend(0.25),
         100.0 * profile.outlier_ratio(),
-        if profile.resubmission_pays() { "PAYS" } else { "does not pay" }
+        if profile.resubmission_pays() {
+            "PAYS"
+        } else {
+            "does not pay"
+        }
     );
     if !profile.resubmission_pays() {
         println!("(strategies below are reported anyway; expect marginal gains)");

@@ -45,8 +45,15 @@ pub fn table1(seed: u64) -> Vec<Table> {
     let mut t = Table::new(
         "Table 1 — mean/σ of latency (R) and of latency incl. resubmissions (J)",
         &[
-            "week", "mean<1e4", "with 1e4", "E_J", "σ_R", "σ_J", "Δσ",
-            "E_J(paper)", "σ_J(paper)",
+            "week",
+            "mean<1e4",
+            "with 1e4",
+            "E_J",
+            "σ_R",
+            "σ_J",
+            "Δσ",
+            "E_J(paper)",
+            "σ_J(paper)",
         ],
     );
     for week in WeekId::ALL {
@@ -86,7 +93,11 @@ pub fn figure2(seed: u64) -> Vec<Table> {
         let mut row = vec![fixed(x, 0)];
         for b in 1..=10u32 {
             let e = MultipleSubmission::expectation(&model, b, x);
-            row.push(if e.is_finite() { fixed(e, 1) } else { "inf".into() });
+            row.push(if e.is_finite() {
+                fixed(e, 1)
+            } else {
+                "inf".into()
+            });
         }
         t.push_row(row);
         x += 25.0;
@@ -103,7 +114,13 @@ pub fn table2(seed: u64) -> Vec<Table> {
     let mut t = Table::new(
         "Table 2 — multiple submission on 2006-IX: optimal t∞ and best E_J per b",
         &[
-            "b", "opt t∞", "best E_J", "σ_J", "ΔE_J/(b=1)", "Δb/(b=1)", "ΔE_J/(b-1)",
+            "b",
+            "opt t∞",
+            "best E_J",
+            "σ_J",
+            "ΔE_J/(b=1)",
+            "Δb/(b=1)",
+            "ΔE_J/(b-1)",
             "Δb/(b-1)",
         ],
     );
@@ -143,8 +160,14 @@ pub fn figure3(seed: u64) -> Vec<Table> {
         .chain((1..=10).map(|b| format!("b={b}")))
         .collect();
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut tej = Table::new("Figure 3 (top) — minimal E_J vs number of parallel jobs", &hdr_refs);
-    let mut tsj = Table::new("Figure 3 (bottom) — σ_J at the optimum vs number of parallel jobs", &hdr_refs);
+    let mut tej = Table::new(
+        "Figure 3 (top) — minimal E_J vs number of parallel jobs",
+        &hdr_refs,
+    );
+    let mut tsj = Table::new(
+        "Figure 3 (bottom) — σ_J at the optimum vs number of parallel jobs",
+        &hdr_refs,
+    );
     for week in WeekId::ALL {
         let model = model_for(week, seed);
         let series = MultipleSubmission::optimal_series(&model, &(1..=10).collect::<Vec<u32>>());
@@ -180,7 +203,11 @@ pub fn figure4(seed: u64) -> Vec<Table> {
                 break;
             }
             let lat = week_model.sample_latency(&mut rng);
-            let eff = if lat < t_inf { submit + lat } else { f64::INFINITY };
+            let eff = if lat < t_inf {
+                submit + lat
+            } else {
+                f64::INFINITY
+            };
             j = j.min(eff);
             lats.push(lat);
             n += 1;
@@ -257,7 +284,14 @@ pub fn figure5(seed: u64) -> Vec<Table> {
     let best = DelayedResubmission::optimize(&model);
     let mut m = Table::new(
         "Figure 5 (minimum) — global optimum of the surface",
-        &["best t0", "best t∞", "min E_J", "paper t0", "paper t∞", "paper E_J"],
+        &[
+            "best t0",
+            "best t∞",
+            "min E_J",
+            "paper t0",
+            "paper t∞",
+            "paper E_J",
+        ],
     );
     m.push_row(vec![
         secs0(best.t0),
@@ -392,7 +426,12 @@ pub fn table4(seed: u64) -> Vec<Table> {
         &["N_//", "t∞/t0", "min E_J", "∆cost"],
     );
     // the paper's left half starts from the single-resubmission row
-    left.push_row(vec!["1.00".into(), "1".into(), secs0(single.expectation), fixed(1.0, 2)]);
+    left.push_row(vec![
+        "1.00".into(),
+        "1".into(),
+        secs0(single.expectation),
+        fixed(1.0, 2),
+    ]);
     let ratios: Vec<f64> = [1.05, 1.1, 1.15, 1.2, 1.25]
         .into_iter()
         .chain(RATIOS.into_iter().skip(2)) // 1.3 … 2.0
@@ -465,7 +504,15 @@ pub fn table5_weeks() -> Vec<WeekId> {
 pub fn table5(seed: u64) -> Vec<Table> {
     let mut t = Table::new(
         "Table 5 — minimal ∆cost per period, with ±5 s stability where ∆cost < 1",
-        &["week", "opt t0", "opt t∞", "opt ∆cost", "E_J", "max ∆cost(±5)", "max Δ%"],
+        &[
+            "week",
+            "opt t0",
+            "opt t∞",
+            "opt ∆cost",
+            "E_J",
+            "max ∆cost(±5)",
+            "max Δ%",
+        ],
     );
     for week in table5_weeks() {
         let model = model_for(week, seed);
@@ -477,7 +524,10 @@ pub fn table5(seed: u64) -> Vec<Table> {
         };
         let (max_dc, max_pct) = if best.delta_cost < 1.0 {
             let rep = stability_radius(&model, t0, ti, 5, single.expectation);
-            (fixed(rep.max_delta_cost, 3), format!("{:.1}%", rep.max_rel_diff_pct))
+            (
+                fixed(rep.max_delta_cost, 3),
+                format!("{:.1}%", rep.max_rel_diff_pct),
+            )
         } else {
             (String::new(), String::new())
         };
@@ -527,7 +577,16 @@ pub fn table6(seed: u64) -> Vec<Table> {
 
     let mut t = Table::new(
         "Table 6 — ∆cost under each week's optimal (t0, t∞) pair (own pair marked *)",
-        &["eval week", "pair from", "t0", "t∞", "E_J", "∆cost", "max diff", "diff/prev"],
+        &[
+            "eval week",
+            "pair from",
+            "t0",
+            "t∞",
+            "E_J",
+            "∆cost",
+            "max diff",
+            "diff/prev",
+        ],
     );
     for rep in &reports {
         for (i, cell) in rep.cells.iter().enumerate() {
@@ -560,35 +619,127 @@ pub fn table6(seed: u64) -> Vec<Table> {
 /// Extension (not in the paper): the paper's tables evaluate `N_//` at the
 /// *expected* latency (`N_//(E_J)`); the true infrastructure load is
 /// `E[N_//(J)]`. This ablation quantifies the gap by executing the delayed
-/// protocol on the discrete-event grid at each ratio's optimum.
+/// protocol on the discrete-event grid at each ratio's optimum — all ratios
+/// batched through one [`ScenarioSweep`] pass.
 pub fn npar_ablation(seed: u64) -> Vec<Table> {
-    use gridstrat_core::executor::{MonteCarloConfig, StrategyExecutor};
+    use gridstrat_core::executor::{MonteCarloConfig, ScenarioSweep};
 
-    let week_model = WeekId::W2006Ix.model();
+    let ratios = [1.2, 1.4, 1.6, 1.8, 2.0];
     let model = model_for(WeekId::W2006Ix, seed);
+    // one optimum per ratio: the E_J-optimal pair (with its analytic
+    // moments) under that ratio, on the trace's empirical tuning law
+    let optima: Vec<_> = ratios
+        .iter()
+        .map(|&r| DelayedResubmission::optimize_with_ratio(&model, r))
+        .collect();
+    let outcomes = ScenarioSweep::over_strategies(
+        optima
+            .iter()
+            .map(|out| StrategyParams::Delayed {
+                t0: out.t0,
+                t_inf: out.t_inf,
+            })
+            .collect(),
+        WeekId::W2006Ix,
+        MonteCarloConfig {
+            trials: 4_000,
+            seed: seed ^ 0xAB1,
+        },
+    )
+    .run();
+
     let mut t = Table::new(
         "Extension A — N_// convention ablation on 2006-IX: analytic vs executed",
         &[
-            "t∞/t0", "t0", "t∞", "E_J analytic", "E_J simulated", "N_//(E_J)",
-            "E[N_//(J)]", "subs/task",
+            "t∞/t0",
+            "t0",
+            "t∞",
+            "E_J analytic",
+            "E_J simulated",
+            "N_//(E_J)",
+            "E[N_//(J)]",
+            "subs/task",
         ],
     );
-    for r in [1.2, 1.4, 1.6, 1.8, 2.0] {
-        let out = DelayedResubmission::optimize_with_ratio(&model, r);
-        let executor = StrategyExecutor::new(
-            week_model.clone(),
-            MonteCarloConfig { trials: 4_000, seed: seed ^ 0xAB1 },
-        );
-        let mc = executor.run(StrategyParams::Delayed { t0: out.t0, t_inf: out.t_inf });
+    for ((r, out), cell) in ratios.iter().zip(&optima).zip(&outcomes) {
+        // analytic values on the trace's empirical model (the tuning law),
+        // simulated values from the sweep's oracle execution
         t.push_row(vec![
-            fixed(r, 1),
+            fixed(*r, 1),
             fixed(out.t0, 0),
             fixed(out.t_inf, 0),
             secs0(out.expectation),
-            secs0(mc.mean_j),
+            secs0(cell.estimate.mean_j),
             fixed(out.n_parallel, 3),
-            fixed(mc.mean_parallel, 3),
-            fixed(mc.mean_submissions, 2),
+            fixed(cell.estimate.mean_parallel, 3),
+            fixed(cell.estimate.mean_submissions, 2),
+        ]);
+    }
+    vec![t]
+}
+
+/// Extension (not in the paper): a (strategy × week × grid-condition)
+/// sweep through the batched [`ScenarioSweep`] runner — the scenario-
+/// diversity experiment the workload-mining literature runs routinely.
+/// Strategies are tuned once on 2006-IX, then evaluated across weeks under
+/// a nominal grid, a grid with doubled fault rate, and a 25%-slower grid.
+pub fn scenario_sweep(seed: u64) -> Vec<Table> {
+    use gridstrat_core::executor::{GridScenario, MonteCarloConfig, ScenarioSweep};
+    use gridstrat_core::strategy::Strategy;
+
+    let tuning = model_for(WeekId::W2006Ix, seed);
+    let single = SingleResubmission::optimized(&tuning);
+    let multi = gridstrat_core::strategy::MultipleSubmission::optimized(&tuning, 3);
+    let best = optimize_delayed_delta_cost(&tuning);
+    let StrategyParams::Delayed { t0, t_inf } = best.params else {
+        unreachable!("∆cost optimizer yields delayed params");
+    };
+
+    let sweep = ScenarioSweep::new(
+        vec![
+            single.params(),
+            multi.params(),
+            StrategyParams::Delayed { t0, t_inf },
+        ],
+        vec![WeekId::W2006Ix, WeekId::W2007_51, WeekId::W2008_03],
+        vec![
+            GridScenario::baseline(),
+            GridScenario::new("2x-faults", 2.0, 1.0),
+            GridScenario::new("25%-slower", 1.0, 1.25),
+        ],
+        MonteCarloConfig {
+            trials: 2_000,
+            seed: seed ^ 0x5EE9,
+        },
+    );
+    let mut t = Table::new(
+        format!(
+            "Extension F — scenario sweep ({} cells × {} trials): strategies tuned on 2006-IX",
+            sweep.n_cells(),
+            sweep.config.trials
+        ),
+        &[
+            "strategy",
+            "week",
+            "scenario",
+            "E_J analytic",
+            "E_J simulated",
+            "z",
+            "N_// sim",
+            "subs/task",
+        ],
+    );
+    for cell in sweep.run() {
+        let z = (cell.estimate.mean_j - cell.analytic_e_j).abs() / cell.estimate.stderr_j;
+        t.push_row(vec![
+            cell.strategy.name().to_string(),
+            cell.week.name().to_string(),
+            cell.scenario.clone(),
+            secs0(cell.analytic_e_j),
+            secs0(cell.estimate.mean_j),
+            fixed(z, 1),
+            fixed(cell.estimate.mean_parallel, 2),
+            fixed(cell.estimate.mean_submissions, 2),
         ]);
     }
     vec![t]
@@ -606,8 +757,15 @@ pub fn model_fits(seed: u64) -> Vec<Table> {
     let mut t = Table::new(
         "Extension B — parametric vs empirical tuning per week (AIC-best family)",
         &[
-            "week", "family", "KS", "ρ̂", "t∞*(ecdf)", "E_J(ecdf)", "t∞*(fit)",
-            "E_J(fit@ecdf)", "penalty",
+            "week",
+            "family",
+            "KS",
+            "ρ̂",
+            "t∞*(ecdf)",
+            "E_J(ecdf)",
+            "t∞*(fit)",
+            "E_J(fit@ecdf)",
+            "penalty",
         ],
     );
     for week in WeekId::ALL {
@@ -647,7 +805,9 @@ pub fn bootstrap_week_ci(seed: u64) -> Vec<Table> {
 
     let mut t = Table::new(
         "Extension C — 95% bootstrap CIs on the single-resubmission optimum",
-        &["week", "E_J*", "E_J lo", "E_J hi", "±rel", "t∞*", "t∞ lo", "t∞ hi"],
+        &[
+            "week", "E_J*", "E_J lo", "E_J hi", "±rel", "t∞*", "t∞ lo", "t∞ hi",
+        ],
     );
     for week in WeekId::ALL {
         let trace = week.generate(seed);
@@ -704,7 +864,12 @@ pub fn hazard_diagnosis(seed: u64) -> Vec<Table> {
             format!("{:?}", profile.trend(0.25)),
             format!("{:.2e}/s", head),
             format!("{:.2e}/s", tail),
-            if profile.resubmission_pays() { "yes" } else { "no" }.to_string(),
+            if profile.resubmission_pays() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     vec![t]
@@ -721,12 +886,16 @@ pub fn nonstationary_stress(seed: u64) -> Vec<Table> {
     let mut t = Table::new(
         "Extension E — stationary tuning on a diurnal grid (week 2007-51 base)",
         &[
-            "amplitude", "phase", "E_J @ global t∞*", "phase-opt E_J", "penalty",
+            "amplitude",
+            "phase",
+            "E_J @ global t∞*",
+            "phase-opt E_J",
+            "penalty",
         ],
     );
     for amplitude in [0.0, 0.3, 0.6] {
-        let diurnal = DiurnalModel::new(base.clone(), amplitude, 86_400.0)
-            .expect("valid diurnal parameters");
+        let diurnal =
+            DiurnalModel::new(base.clone(), amplitude, 86_400.0).expect("valid diurnal parameters");
         let trace = diurnal.generate(9_000, seed ^ 0xD1);
         let global = EmpiricalModel::from_trace(&trace).expect("valid trace");
         let global_opt = SingleResubmission::optimize(&global);
@@ -763,10 +932,27 @@ pub fn nonstationary_stress(seed: u64) -> Vec<Table> {
 
 /// All experiment ids accepted by the `repro` binary, in paper order, with
 /// the extensions last.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
-    "figure1", "table1", "figure2", "table2", "figure3", "figure4", "figure5", "table3",
-    "figure6", "figure7", "table4", "figure8", "table5", "table6", "npar_ablation",
-    "model_fits", "bootstrap_ci", "hazard", "nonstationary",
+pub const ALL_EXPERIMENTS: [&str; 20] = [
+    "figure1",
+    "table1",
+    "figure2",
+    "table2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "table3",
+    "figure6",
+    "figure7",
+    "table4",
+    "figure8",
+    "table5",
+    "table6",
+    "npar_ablation",
+    "model_fits",
+    "bootstrap_ci",
+    "hazard",
+    "nonstationary",
+    "scenario_sweep",
 ];
 
 /// Dispatches one experiment by id.
@@ -791,6 +977,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Vec<Table>> {
         "bootstrap_ci" => Some(bootstrap_week_ci(seed)),
         "hazard" => Some(hazard_diagnosis(seed)),
         "nonstationary" => Some(nonstationary_stress(seed)),
+        "scenario_sweep" => Some(scenario_sweep(seed)),
         _ => None,
     }
 }
@@ -855,10 +1042,23 @@ mod tests {
         for p in &profile {
             assert!(p.delta_cost > 1.0, "{:?}", p.params);
         }
-        // and the delayed profile reaches below 1 (the paper's key finding)
-        let dprofile = delayed_cost_profile(&model, &[1.15, 1.2, 1.25, 1.3]);
-        let min = dprofile.iter().map(|p| p.delta_cost).fold(f64::INFINITY, f64::min);
-        assert!(min < 1.0, "min delayed ∆cost {min}");
+        // and a delayed configuration reaches below 1 (the paper's key
+        // finding). The fixed-ratio profile minimises E_J per ratio — not
+        // ∆cost — so on a finite synthetic trace its points can hover just
+        // above 1; the claim itself is about the ∆cost optimum.
+        let best = optimize_delayed_delta_cost(&model);
+        assert!(
+            best.delta_cost < 1.0,
+            "optimal delayed ∆cost {}",
+            best.delta_cost
+        );
+        // the profile still tracks the optimum within sampling noise
+        let dprofile = delayed_cost_profile(&model, &[1.05, 1.1, 1.15, 1.2, 1.25, 1.3]);
+        let min = dprofile
+            .iter()
+            .map(|p| p.delta_cost)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min < 1.1, "min profile ∆cost {min} far above the optimum");
     }
 
     #[test]

@@ -43,9 +43,10 @@ impl JSampler {
         // reconstruct the full submission population: body values plus one
         // threshold entry per censored job
         let mut latencies = ecdf.body().to_vec();
-        latencies.extend(
-            std::iter::repeat_n(ecdf.threshold(), ecdf.n_total() - ecdf.n_body()),
-        );
+        latencies.extend(std::iter::repeat_n(
+            ecdf.threshold(),
+            ecdf.n_total() - ecdf.n_body(),
+        ));
         match spec {
             StrategyParams::Delayed { t0, t_inf }
             | StrategyParams::DelayedMultiple { t0, t_inf, .. } => {
@@ -56,7 +57,11 @@ impl JSampler {
             }
             _ => {}
         }
-        JSampler { latencies, threshold: ecdf.threshold(), spec }
+        JSampler {
+            latencies,
+            threshold: ecdf.threshold(),
+            spec,
+        }
     }
 
     fn draw_latency<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
@@ -206,7 +211,10 @@ mod tests {
                 MultipleSubmission::expectation(&model, 3, 800.0),
             ),
             (
-                StrategyParams::Delayed { t0: 400.0, t_inf: 560.0 },
+                StrategyParams::Delayed {
+                    t0: 400.0,
+                    t_inf: 560.0,
+                },
                 crate::strategy::DelayedResubmission::expectation(&model, 400.0, 560.0),
             ),
         ] {
@@ -243,7 +251,13 @@ mod tests {
         let single_t = SingleResubmission::optimize(&model).timeout;
         let multi_t = MultipleSubmission::optimize(&model, 5).timeout;
         let s1 = JSampler::new(&e, StrategyParams::Single { t_inf: single_t });
-        let s5 = JSampler::new(&e, StrategyParams::Multiple { b: 5, t_inf: multi_t });
+        let s5 = JSampler::new(
+            &e,
+            StrategyParams::Multiple {
+                b: 5,
+                t_inf: multi_t,
+            },
+        );
         let b1 = batch_outcome(&s1, 500, 200, 3);
         let b5 = batch_outcome(&s5, 500, 200, 3);
         let mean_gain = b1.mean_latency / b5.mean_latency;
@@ -258,7 +272,13 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let e = trace_ecdf();
-        let sampler = JSampler::new(&e, StrategyParams::Delayed { t0: 300.0, t_inf: 450.0 });
+        let sampler = JSampler::new(
+            &e,
+            StrategyParams::Delayed {
+                t0: 300.0,
+                t_inf: 450.0,
+            },
+        );
         let a = batch_outcome(&sampler, 50, 100, 9);
         let b = batch_outcome(&sampler, 50, 100, 9);
         assert_eq!(a.mean_makespan.to_bits(), b.mean_makespan.to_bits());
@@ -268,6 +288,12 @@ mod tests {
     #[should_panic(expected = "feasible pair")]
     fn rejects_infeasible_delayed() {
         let e = trace_ecdf();
-        JSampler::new(&e, StrategyParams::Delayed { t0: 100.0, t_inf: 500.0 });
+        JSampler::new(
+            &e,
+            StrategyParams::Delayed {
+                t0: 100.0,
+                t_inf: 500.0,
+            },
+        );
     }
 }

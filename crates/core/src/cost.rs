@@ -16,7 +16,7 @@
 //! always costs `> 1` (1.3 at `b = 2`, growing ≈ linearly).
 
 use crate::latency::LatencyModel;
-use crate::strategy::{DelayedResubmission, MultipleSubmission, SingleResubmission};
+use crate::strategy::{DelayedResubmission, MultipleSubmission, SingleResubmission, Strategy};
 use gridstrat_stats::optimize::grid_min_2d;
 
 /// One point of a cost profile (Tables 3–4, Fig. 8).
@@ -69,69 +69,85 @@ pub enum StrategyParams {
 
 /// Eq. 6: `∆cost = N_// · E_J / E*_J(single)`.
 pub fn delta_cost(n_parallel: f64, e_j: f64, e_j_single_opt: f64) -> f64 {
-    assert!(e_j_single_opt > 0.0, "single-resubmission baseline must be positive");
+    assert!(
+        e_j_single_opt > 0.0,
+        "single-resubmission baseline must be positive"
+    );
     n_parallel * e_j / e_j_single_opt
+}
+
+/// Evaluates the eq.-6 criterion for any [`Strategy`] instance against the
+/// single-resubmission baseline — the one place `E_J`, `N_//` and `∆cost`
+/// are combined, shared by every profile/table below.
+pub fn cost_point(
+    model: &dyn LatencyModel,
+    strategy: &dyn Strategy,
+    e_j_single_opt: f64,
+) -> CostPoint {
+    // evaluate the closed form once; N_// is derived from the expectation
+    // (this sits in the ∆cost optimizers' innermost loop)
+    let expectation = strategy.expected_j(model);
+    let n_parallel = strategy.n_parallel_for(expectation);
+    let dc = if expectation.is_finite() {
+        delta_cost(n_parallel, expectation, e_j_single_opt)
+    } else {
+        f64::INFINITY
+    };
+    CostPoint {
+        params: strategy.params(),
+        n_parallel,
+        expectation,
+        delta_cost: dc,
+    }
 }
 
 /// Cost profile of the delayed strategy over a set of `t∞/t0` ratios
 /// (the protocol behind Tables 3–4's left half and Fig. 8's solid curve):
 /// for each ratio, minimise `E_J`, then report `N_//(E_J)` and `∆cost`.
-pub fn delayed_cost_profile<M: LatencyModel + ?Sized>(
-    model: &M,
-    ratios: &[f64],
-) -> Vec<CostPoint> {
+pub fn delayed_cost_profile(model: &dyn LatencyModel, ratios: &[f64]) -> Vec<CostPoint> {
     let single = SingleResubmission::optimize(model);
     ratios
         .iter()
         .map(|&r| {
             let out = DelayedResubmission::optimize_with_ratio(model, r);
-            CostPoint {
-                params: StrategyParams::Delayed { t0: out.t0, t_inf: out.t_inf },
-                n_parallel: out.n_parallel,
-                expectation: out.expectation,
-                delta_cost: delta_cost(out.n_parallel, out.expectation, single.expectation),
-            }
+            cost_point(
+                model,
+                &DelayedResubmission::new(out.t0, out.t_inf),
+                single.expectation,
+            )
         })
         .collect()
 }
 
 /// Cost profile of the multiple strategy over collection sizes
 /// (Table 4's right half and Fig. 8's dashed curve). `N_// = b` exactly.
-pub fn multiple_cost_profile<M: LatencyModel + ?Sized>(model: &M, bs: &[u32]) -> Vec<CostPoint> {
+pub fn multiple_cost_profile(model: &dyn LatencyModel, bs: &[u32]) -> Vec<CostPoint> {
     let single = SingleResubmission::optimize(model);
     bs.iter()
         .map(|&b| {
-            let out = MultipleSubmission::optimize(model, b);
-            CostPoint {
-                params: StrategyParams::Multiple { b, t_inf: out.timeout },
-                n_parallel: b as f64,
-                expectation: out.expectation,
-                delta_cost: delta_cost(b as f64, out.expectation, single.expectation),
-            }
+            let tuned = MultipleSubmission::optimized(model, b);
+            cost_point(model, &tuned, single.expectation)
         })
         .collect()
 }
 
 /// The `∆cost` objective at an explicit `(t0, t∞)` pair, given the
 /// single-resubmission baseline (Table 5/6 cells).
-pub fn delayed_delta_cost_at<M: LatencyModel + ?Sized>(
-    model: &M,
+pub fn delayed_delta_cost_at(
+    model: &dyn LatencyModel,
     t0: f64,
     t_inf: f64,
     e_j_single_opt: f64,
 ) -> CostPoint {
-    let out = DelayedResubmission::evaluate(model, t0, t_inf);
-    let dc = if out.expectation.is_finite() {
-        delta_cost(out.n_parallel, out.expectation, e_j_single_opt)
-    } else {
-        f64::INFINITY
-    };
-    CostPoint {
-        params: StrategyParams::Delayed { t0, t_inf },
-        n_parallel: out.n_parallel,
-        expectation: out.expectation,
-        delta_cost: dc,
+    if !DelayedResubmission::feasible(t0, t_inf) {
+        return CostPoint {
+            params: StrategyParams::Delayed { t0, t_inf },
+            n_parallel: f64::NAN,
+            expectation: f64::INFINITY,
+            delta_cost: f64::INFINITY,
+        };
     }
+    cost_point(model, &DelayedResubmission::new(t0, t_inf), e_j_single_opt)
 }
 
 /// Minimises `∆cost` over integer-second `(t0, t∞)` pairs (Table 5's
@@ -140,7 +156,7 @@ pub fn delayed_delta_cost_at<M: LatencyModel + ?Sized>(
 ///
 /// A continuous multi-resolution grid search locates the basin, then an
 /// exhaustive integer scan of a ±12 s box (with `t∞ ≥ t0 + 1`) finishes.
-pub fn optimize_delayed_delta_cost<M: LatencyModel + ?Sized>(model: &M) -> CostPoint {
+pub fn optimize_delayed_delta_cost(model: &dyn LatencyModel) -> CostPoint {
     let single = SingleResubmission::optimize(model);
     let e1 = single.expectation;
     let objective = |t0: f64, ti: f64| {
@@ -188,8 +204,7 @@ mod tests {
     use gridstrat_stats::{LogNormal, Shifted};
 
     fn heavy_model() -> ParametricModel<Shifted<LogNormal>> {
-        let body =
-            Shifted::new(LogNormal::from_mean_std(360.0, 880.0).unwrap(), 150.0).unwrap();
+        let body = Shifted::new(LogNormal::from_mean_std(360.0, 880.0).unwrap(), 150.0).unwrap();
         ParametricModel::new(body, 0.05, 1e4).unwrap()
     }
 

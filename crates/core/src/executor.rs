@@ -1,21 +1,40 @@
-//! Monte-Carlo execution of the strategies against the discrete-event grid.
+//! Monte-Carlo execution of the strategies against the discrete-event grid,
+//! and the batched scenario sweep.
 //!
 //! Each closed form in this crate is validated by actually *running* the
 //! corresponding client-side protocol against [`gridstrat_sim`]: a
 //! controller submits, cancels and re-submits jobs exactly as a user's
 //! wrapper script would, and the realised total latency `J`, submission
 //! count and time-average parallel-job count are measured from the engine's
-//! audit records. Trials run in parallel with rayon; per-trial RNGs are
-//! derived from `(seed, trial)` so results do not depend on thread count.
+//! audit records. Controllers are built through
+//! [`Strategy::build_controller`], so the executor never matches on
+//! strategy variants.
+//!
+//! Two entry points share the same trial kernel:
+//!
+//! * [`StrategyExecutor`] — many trials of **one** strategy on **one**
+//!   latency law (the validation workhorse);
+//! * [`ScenarioSweep`] — a (strategy × week × grid-scenario) grid evaluated
+//!   in **one** parallel pass. Every cell gets its own RNG stream via
+//!   `derive_seed(master, cell)` and trials within a cell use
+//!   `derive_seed(cell_seed, trial)`, and results are aggregated in index
+//!   order — so the entire sweep is **bit-identical for any thread count**.
 
 use crate::cost::StrategyParams;
+use crate::latency::ParametricModel;
+use crate::strategy::Strategy;
+use gridstrat_sim::{Controller, GridConfig, GridSimulation, JobId, Notification, SimDuration};
 use gridstrat_stats::rng::derive_seed;
 use gridstrat_stats::Summary;
-use gridstrat_sim::{
-    Controller, GridConfig, GridSimulation, JobId, Notification, SimDuration,
-};
-use gridstrat_workload::WeekModel;
+use gridstrat_workload::{WeekId, WeekModel};
 use rayon::prelude::*;
+
+/// A [`Controller`] realising a submission strategy, exposing the realised
+/// total latency once a job of the current task has started.
+pub trait StrategyController: Controller + Send {
+    /// The realised total latency `J` in seconds, once known.
+    fn total_latency(&self) -> Option<f64>;
+}
 
 /// Monte-Carlo run configuration.
 #[derive(Debug, Clone, Copy)]
@@ -28,7 +47,10 @@ pub struct MonteCarloConfig {
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
-        MonteCarloConfig { trials: 10_000, seed: 0xE6EE }
+        MonteCarloConfig {
+            trials: 10_000,
+            seed: 0xE6EE,
+        }
     }
 }
 
@@ -49,6 +71,69 @@ pub struct MonteCarloEstimate {
     pub completed_trials: usize,
 }
 
+/// One trial of `strategy` on a fresh engine over `grid`: returns
+/// `(J, submissions, parallel-average)`, or `None` if no job started
+/// before the horizon. The shared kernel of both executors.
+fn run_one_trial(grid: &GridConfig, strategy: &dyn Strategy, seed: u64) -> Option<(f64, f64, f64)> {
+    let mut sim =
+        GridSimulation::new(grid.clone(), seed).expect("executor grid configs are always valid");
+    let mut ctrl = strategy.build_controller();
+    sim.run_controller(ctrl.as_mut());
+    let j = ctrl.total_latency()?;
+
+    // cancel everything still pending so bookkeeping below sees a
+    // terminal time for every job
+    let pending: Vec<JobId> = sim
+        .jobs()
+        .iter()
+        .filter(|r| !r.state.is_terminal() && r.started_at.is_none())
+        .map(|r| r.id)
+        .collect();
+    for id in pending {
+        sim.cancel(id);
+    }
+
+    let submissions = sim.stats().client_submitted as f64;
+    // time-integral of the number of in-system jobs over [0, J]:
+    // a job is "in the system" from submission until it starts, is
+    // cancelled, or the task completes at J
+    let mut integral = 0.0;
+    for rec in sim.jobs() {
+        let s = rec.submitted_at.as_secs();
+        if s >= j {
+            continue;
+        }
+        let end = match (rec.started_at, rec.terminated_at) {
+            (Some(st), _) => st.as_secs(),
+            (None, Some(term)) => term.as_secs(),
+            (None, None) => j,
+        };
+        integral += end.min(j) - s;
+    }
+    let n_par = if j > 0.0 { integral / j } else { 1.0 };
+    Some((j, submissions, n_par))
+}
+
+/// Folds per-trial outcomes — **in trial order** — into an estimate.
+fn aggregate(outcomes: impl IntoIterator<Item = Option<(f64, f64, f64)>>) -> MonteCarloEstimate {
+    let mut j_sum = Summary::new();
+    let mut sub_sum = Summary::new();
+    let mut par_sum = Summary::new();
+    for (j, subs, par) in outcomes.into_iter().flatten() {
+        j_sum.push(j);
+        sub_sum.push(subs);
+        par_sum.push(par);
+    }
+    MonteCarloEstimate {
+        mean_j: j_sum.mean(),
+        stderr_j: j_sum.stderr(),
+        std_j: j_sum.std(),
+        mean_submissions: sub_sum.mean(),
+        mean_parallel: par_sum.mean(),
+        completed_trials: j_sum.count() as usize,
+    }
+}
+
 /// Runs submission strategies against an oracle- or resample-mode grid.
 #[derive(Debug, Clone)]
 pub struct StrategyExecutor {
@@ -60,7 +145,10 @@ impl StrategyExecutor {
     /// Creates an executor drawing latencies from a weekly generative model
     /// (oracle mode).
     pub fn new(model: WeekModel, config: MonteCarloConfig) -> Self {
-        StrategyExecutor { grid: GridConfig::oracle(model), config }
+        StrategyExecutor {
+            grid: GridConfig::oracle(model),
+            config,
+        }
     }
 
     /// Creates an executor that resamples latencies i.i.d. from a recorded
@@ -78,104 +166,264 @@ impl StrategyExecutor {
     ///
     /// Trials execute on the rayon pool but are aggregated in trial order,
     /// so the estimate is **bit-identical** for any thread count.
-    pub fn run(&self, spec: StrategyParams) -> MonteCarloEstimate {
+    pub fn run_strategy(&self, strategy: &dyn Strategy) -> MonteCarloEstimate {
         let outcomes: Vec<Option<(f64, f64, f64)>> = (0..self.config.trials)
             .into_par_iter()
-            .map(|trial| self.run_trial(spec, derive_seed(self.config.seed, trial as u64)))
+            .map(|trial| {
+                run_one_trial(
+                    &self.grid,
+                    strategy,
+                    derive_seed(self.config.seed, trial as u64),
+                )
+            })
             .collect();
-        let mut j_sum = Summary::new();
-        let mut sub_sum = Summary::new();
-        let mut par_sum = Summary::new();
-        for out in outcomes.into_iter().flatten() {
-            let (j, subs, par) = out;
-            j_sum.push(j);
-            sub_sum.push(subs);
-            par_sum.push(par);
-        }
-        MonteCarloEstimate {
-            mean_j: j_sum.mean(),
-            stderr_j: j_sum.stderr(),
-            std_j: j_sum.std(),
-            mean_submissions: sub_sum.mean(),
-            mean_parallel: par_sum.mean(),
-            completed_trials: j_sum.count() as usize,
+        aggregate(outcomes)
+    }
+
+    /// Convenience wrapper over [`StrategyExecutor::run_strategy`] for
+    /// plain-data strategy descriptions.
+    pub fn run(&self, spec: StrategyParams) -> MonteCarloEstimate {
+        self.run_strategy(&spec)
+    }
+}
+
+// --- scenario sweep ----------------------------------------------------------
+
+/// A named grid-condition variant applied on top of a week's calibrated
+/// latency model — the sweep axis that workload-mining studies scan
+/// (degraded fault rates, slower middleware, …).
+#[derive(Debug, Clone)]
+pub struct GridScenario {
+    /// Scenario label (appears in sweep outcomes and report tables).
+    pub name: String,
+    /// Multiplier on the week's outlier/fault ratio `ρ` (result clamped to
+    /// `[0, 0.9]`).
+    pub fault_scale: f64,
+    /// Multiplier on body latency (scales the latency floor and the
+    /// log-normal body; `1.0` = the calibrated week).
+    pub latency_scale: f64,
+}
+
+impl GridScenario {
+    /// The unmodified calibrated week.
+    pub fn baseline() -> Self {
+        GridScenario {
+            name: "baseline".into(),
+            fault_scale: 1.0,
+            latency_scale: 1.0,
         }
     }
 
-    /// One trial: returns `(J, submissions, parallel-average)` or `None` if
-    /// no job started before the horizon.
-    fn run_trial(&self, spec: StrategyParams, seed: u64) -> Option<(f64, f64, f64)> {
-        let mut sim = GridSimulation::new(self.grid.clone(), seed)
-            .expect("executor grid configs are always valid");
-        let j = match spec {
-            StrategyParams::Single { t_inf } => {
-                let mut ctrl = SingleCtrl::new(t_inf);
-                sim.run_controller(&mut ctrl);
-                ctrl.j
-            }
-            StrategyParams::Multiple { b, t_inf } => {
-                let mut ctrl = MultipleCtrl::new(b, t_inf);
-                sim.run_controller(&mut ctrl);
-                ctrl.j
-            }
-            StrategyParams::Delayed { t0, t_inf } => {
-                let mut ctrl = DelayedCtrl::new(1, t0, t_inf);
-                sim.run_controller(&mut ctrl);
-                ctrl.j
-            }
-            StrategyParams::DelayedMultiple { b, t0, t_inf } => {
-                let mut ctrl = DelayedCtrl::new(b, t0, t_inf);
-                sim.run_controller(&mut ctrl);
-                ctrl.j
-            }
-        };
-        let j = j?;
+    /// A named variant scaling the fault ratio and body latency.
+    pub fn new(name: impl Into<String>, fault_scale: f64, latency_scale: f64) -> Self {
+        assert!(
+            fault_scale.is_finite() && fault_scale >= 0.0,
+            "fault scale must be non-negative"
+        );
+        assert!(
+            latency_scale.is_finite() && latency_scale > 0.0,
+            "latency scale must be positive"
+        );
+        GridScenario {
+            name: name.into(),
+            fault_scale,
+            latency_scale,
+        }
+    }
 
-        // cancel everything still pending so bookkeeping below sees a
-        // terminal time for every job
-        let pending: Vec<JobId> = sim
-            .jobs()
-            .iter()
-            .filter(|r| !r.state.is_terminal() && r.started_at.is_none())
-            .map(|r| r.id)
+    /// Applies the scenario to a calibrated week model.
+    pub fn apply(&self, week: &WeekModel) -> WeekModel {
+        let mut out = week.clone();
+        out.name = format!("{}:{}", week.name, self.name);
+        out.rho = (week.rho * self.fault_scale).clamp(0.0, 0.9);
+        // scaling a shifted log-normal by s: shift ×= s, μ += ln s
+        out.shift_s = week.shift_s * self.latency_scale;
+        out.body_mu = week.body_mu + self.latency_scale.ln();
+        out
+    }
+}
+
+/// One evaluated cell of a [`ScenarioSweep`].
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The strategy evaluated in this cell.
+    pub strategy: StrategyParams,
+    /// The week whose calibrated model the cell used.
+    pub week: WeekId,
+    /// The grid-scenario label.
+    pub scenario: String,
+    /// Closed-form `E_J` on the cell's (scenario-adjusted) analytic model.
+    pub analytic_e_j: f64,
+    /// The paper-convention `N_//` on the analytic model.
+    pub analytic_n_parallel: f64,
+    /// Monte-Carlo estimates from executing the protocol.
+    pub estimate: MonteCarloEstimate,
+}
+
+/// Batched evaluation of a (strategy × week × grid-scenario) grid in one
+/// rayon pass.
+///
+/// Cells are laid out strategy-major
+/// (`cell = (s·|weeks| + w)·|scenarios| + g`); the flat (cell × trial)
+/// index space is distributed over the thread pool as a whole, so small
+/// sweeps still saturate the machine and wall-clock is bounded by total
+/// work, not by the slowest cell.
+#[derive(Debug, Clone)]
+pub struct ScenarioSweep {
+    /// Strategy instances to evaluate (plain-data form).
+    pub strategies: Vec<StrategyParams>,
+    /// Weeks whose calibrated models define the latency laws.
+    pub weeks: Vec<WeekId>,
+    /// Grid-condition variants applied to every week.
+    pub scenarios: Vec<GridScenario>,
+    /// Trials per cell and the sweep's master seed.
+    pub config: MonteCarloConfig,
+}
+
+impl ScenarioSweep {
+    /// Builds a sweep; every axis must be non-empty.
+    pub fn new(
+        strategies: Vec<StrategyParams>,
+        weeks: Vec<WeekId>,
+        scenarios: Vec<GridScenario>,
+        config: MonteCarloConfig,
+    ) -> Self {
+        assert!(!strategies.is_empty(), "sweep needs at least one strategy");
+        assert!(!weeks.is_empty(), "sweep needs at least one week");
+        assert!(!scenarios.is_empty(), "sweep needs at least one scenario");
+        assert!(config.trials > 0, "sweep needs at least one trial per cell");
+        // executing an infeasible delayed pair would panic mid-run inside a
+        // worker thread; reject it here with a pointed message instead
+        for (i, s) in strategies.iter().enumerate() {
+            if let StrategyParams::Delayed { t0, t_inf }
+            | StrategyParams::DelayedMultiple { t0, t_inf, .. } = *s
+            {
+                assert!(
+                    crate::strategy::DelayedResubmission::feasible(t0, t_inf),
+                    "sweep strategy {i}: infeasible delayed pair ({t0}, {t_inf})"
+                );
+            }
+        }
+        ScenarioSweep {
+            strategies,
+            weeks,
+            scenarios,
+            config,
+        }
+    }
+
+    /// A single-week, baseline-scenario sweep over `strategies` — the most
+    /// common validation shape.
+    pub fn over_strategies(
+        strategies: Vec<StrategyParams>,
+        week: WeekId,
+        config: MonteCarloConfig,
+    ) -> Self {
+        ScenarioSweep::new(
+            strategies,
+            vec![week],
+            vec![GridScenario::baseline()],
+            config,
+        )
+    }
+
+    /// Number of cells in the grid.
+    pub fn n_cells(&self) -> usize {
+        self.strategies.len() * self.weeks.len() * self.scenarios.len()
+    }
+
+    /// Total number of engine trials the sweep will run.
+    pub fn n_trials_total(&self) -> usize {
+        self.n_cells() * self.config.trials
+    }
+
+    /// Evaluates the whole grid in one parallel pass.
+    ///
+    /// Returns one outcome per cell, in cell order. Bit-identical for any
+    /// thread count: per-trial RNGs are derived from
+    /// `(derive_seed(seed, cell), trial)` and aggregation runs in index
+    /// order on the calling thread.
+    pub fn run(&self) -> Vec<ScenarioOutcome> {
+        struct CellPlan {
+            strategy: StrategyParams,
+            week: WeekId,
+            scenario: String,
+            grid: GridConfig,
+            seed: u64,
+        }
+
+        let trials = self.config.trials;
+        let mut plans = Vec::with_capacity(self.n_cells());
+        let mut analytic = Vec::with_capacity(self.n_cells());
+        for strategy in &self.strategies {
+            for &week in &self.weeks {
+                let base = week.model();
+                for scenario in &self.scenarios {
+                    let model = scenario.apply(&base);
+                    let cell = plans.len() as u64;
+                    // closed forms on the scenario-adjusted parametric law
+                    // (evaluated once; N_// is derived from the expectation)
+                    let reference =
+                        ParametricModel::new(model.body(), model.rho, model.threshold_s)
+                            .expect("scenario-adjusted models stay valid");
+                    let e = strategy.expected_j(&reference);
+                    analytic.push((e, strategy.n_parallel_for(e)));
+                    plans.push(CellPlan {
+                        strategy: *strategy,
+                        week,
+                        scenario: scenario.name.clone(),
+                        grid: GridConfig::oracle(model),
+                        seed: derive_seed(self.config.seed, cell),
+                    });
+                }
+            }
+        }
+
+        let total = plans.len() * trials;
+        let plans_ref = &plans;
+        let outcomes: Vec<Option<(f64, f64, f64)>> = (0..total)
+            .into_par_iter()
+            .map(move |k| {
+                let plan = &plans_ref[k / trials];
+                let trial = (k % trials) as u64;
+                run_one_trial(&plan.grid, &plan.strategy, derive_seed(plan.seed, trial))
+            })
             .collect();
-        for id in pending {
-            sim.cancel(id);
-        }
 
-        let submissions = sim.stats().client_submitted as f64;
-        // time-integral of the number of in-system jobs over [0, J]:
-        // a job is "in the system" from submission until it starts, is
-        // cancelled, or the task completes at J
-        let mut integral = 0.0;
-        for rec in sim.jobs() {
-            let s = rec.submitted_at.as_secs();
-            if s >= j {
-                continue;
-            }
-            let end = match (rec.started_at, rec.terminated_at) {
-                (Some(st), _) => st.as_secs(),
-                (None, Some(term)) => term.as_secs(),
-                (None, None) => j,
-            };
-            integral += end.min(j) - s;
-        }
-        let n_par = if j > 0.0 { integral / j } else { 1.0 };
-        Some((j, submissions, n_par))
+        plans
+            .iter()
+            .zip(analytic)
+            .enumerate()
+            .map(
+                |(c, (plan, (analytic_e_j, analytic_n_parallel)))| ScenarioOutcome {
+                    strategy: plan.strategy,
+                    week: plan.week,
+                    scenario: plan.scenario.clone(),
+                    analytic_e_j,
+                    analytic_n_parallel,
+                    estimate: aggregate(outcomes[c * trials..(c + 1) * trials].iter().copied()),
+                },
+            )
+            .collect()
     }
 }
 
 // --- single resubmission -----------------------------------------------------
 
-struct SingleCtrl {
+/// Controller realising single resubmission: cancel + resubmit at `t∞`.
+pub(crate) struct SingleCtrl {
     t_inf: SimDuration,
     current: Option<JobId>,
     j: Option<f64>,
 }
 
 impl SingleCtrl {
-    fn new(t_inf: f64) -> Self {
-        SingleCtrl { t_inf: SimDuration::from_secs(t_inf), current: None, j: None }
+    pub(crate) fn new(t_inf: f64) -> Self {
+        SingleCtrl {
+            t_inf: SimDuration::from_secs(t_inf),
+            current: None,
+            j: None,
+        }
     }
 }
 
@@ -188,17 +436,17 @@ impl Controller for SingleCtrl {
 
     fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
         match ev {
-            Notification::JobStarted { id, at }
-                if self.current == Some(id) => {
-                    self.j = Some(at.as_secs());
-                }
+            Notification::JobStarted { id, at } if self.current == Some(id) => {
+                self.j = Some(at.as_secs());
+            }
             Notification::Timer { token, .. }
-                if self.j.is_none() && self.current == Some(JobId(token)) => {
-                    sim.cancel(JobId(token));
-                    let id = sim.submit();
-                    sim.set_timer(self.t_inf, id.0);
-                    self.current = Some(id);
-                }
+                if self.j.is_none() && self.current == Some(JobId(token)) =>
+            {
+                sim.cancel(JobId(token));
+                let id = sim.submit();
+                sim.set_timer(self.t_inf, id.0);
+                self.current = Some(id);
+            }
             _ => {}
         }
     }
@@ -208,9 +456,16 @@ impl Controller for SingleCtrl {
     }
 }
 
+impl StrategyController for SingleCtrl {
+    fn total_latency(&self) -> Option<f64> {
+        self.j
+    }
+}
+
 // --- multiple (burst) submission ----------------------------------------------
 
-struct MultipleCtrl {
+/// Controller realising `b`-fold burst submission.
+pub(crate) struct MultipleCtrl {
     b: u32,
     t_inf: SimDuration,
     round: u64,
@@ -219,7 +474,7 @@ struct MultipleCtrl {
 }
 
 impl MultipleCtrl {
-    fn new(b: u32, t_inf: f64) -> Self {
+    pub(crate) fn new(b: u32, t_inf: f64) -> Self {
         assert!(b >= 1);
         MultipleCtrl {
             b,
@@ -246,24 +501,21 @@ impl Controller for MultipleCtrl {
 
     fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
         match ev {
-            Notification::JobStarted { id, at }
-                if self.j.is_none() && self.jobs.contains(&id) => {
-                    self.j = Some(at.as_secs());
-                    // cancel the rest of the collection
-                    let others: Vec<JobId> =
-                        self.jobs.iter().copied().filter(|&o| o != id).collect();
-                    for o in others {
-                        sim.cancel(o);
-                    }
+            Notification::JobStarted { id, at } if self.j.is_none() && self.jobs.contains(&id) => {
+                self.j = Some(at.as_secs());
+                // cancel the rest of the collection
+                let others: Vec<JobId> = self.jobs.iter().copied().filter(|&o| o != id).collect();
+                for o in others {
+                    sim.cancel(o);
                 }
-            Notification::Timer { token, .. }
-                if self.j.is_none() && token == self.round => {
-                    for &o in &self.jobs.clone() {
-                        sim.cancel(o);
-                    }
-                    self.round += 1;
-                    self.submit_round(sim);
+            }
+            Notification::Timer { token, .. } if self.j.is_none() && token == self.round => {
+                for &o in &self.jobs.clone() {
+                    sim.cancel(o);
                 }
+                self.round += 1;
+                self.submit_round(sim);
+            }
             _ => {}
         }
     }
@@ -273,9 +525,16 @@ impl Controller for MultipleCtrl {
     }
 }
 
+impl StrategyController for MultipleCtrl {
+    fn total_latency(&self) -> Option<f64> {
+        self.j
+    }
+}
+
 // --- delayed resubmission ------------------------------------------------------
 
-struct DelayedCtrl {
+/// Controller realising (generalised) delayed resubmission.
+pub(crate) struct DelayedCtrl {
     b: u32,
     t0: SimDuration,
     t_inf: SimDuration,
@@ -295,7 +554,7 @@ fn cancel_token(id: JobId) -> u64 {
 }
 
 impl DelayedCtrl {
-    fn new(b: u32, t0: f64, t_inf: f64) -> Self {
+    pub(crate) fn new(b: u32, t0: f64, t_inf: f64) -> Self {
         assert!(b >= 1, "need at least one copy per echelon");
         assert!(
             crate::strategy::DelayedResubmission::feasible(t0, t_inf),
@@ -332,15 +591,13 @@ impl Controller for DelayedCtrl {
             return;
         }
         match ev {
-            Notification::JobStarted { id, at }
-                if self.jobs.contains(&id) => {
-                    self.j = Some(at.as_secs());
-                    let others: Vec<JobId> =
-                        self.jobs.iter().copied().filter(|&o| o != id).collect();
-                    for o in others {
-                        sim.cancel(o);
-                    }
+            Notification::JobStarted { id, at } if self.jobs.contains(&id) => {
+                self.j = Some(at.as_secs());
+                let others: Vec<JobId> = self.jobs.iter().copied().filter(|&o| o != id).collect();
+                for o in others {
+                    sim.cancel(o);
                 }
+            }
             Notification::Timer { token, .. } => {
                 if token % 2 == 1 {
                     sim.cancel(JobId((token - 1) / 2));
@@ -360,6 +617,12 @@ impl Controller for DelayedCtrl {
     }
 }
 
+impl StrategyController for DelayedCtrl {
+    fn total_latency(&self) -> Option<f64> {
+        self.j
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,7 +637,9 @@ mod tests {
     /// Builds the *exact* empirical model of the oracle by sampling the
     /// model heavily — the analytic predictions are then compared on the
     /// same law the simulator draws from.
-    fn reference_model(w: &WeekModel) -> crate::latency::ParametricModel<impl gridstrat_stats::Distribution> {
+    fn reference_model(
+        w: &WeekModel,
+    ) -> crate::latency::ParametricModel<impl gridstrat_stats::Distribution> {
         crate::latency::ParametricModel::new(w.body(), w.rho, w.threshold_s).unwrap()
     }
 
@@ -414,7 +679,11 @@ mod tests {
         let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
         assert!(z < 4.0, "MC {} vs analytic {analytic} (z = {z})", mc.mean_j);
         // the collection keeps b jobs in flight until J
-        assert!((mc.mean_parallel - b as f64).abs() < 0.02, "N {}", mc.mean_parallel);
+        assert!(
+            (mc.mean_parallel - b as f64).abs() < 0.02,
+            "N {}",
+            mc.mean_parallel
+        );
     }
 
     #[test]
@@ -442,8 +711,11 @@ mod tests {
         let m = reference_model(&w);
         let (b, t0, t_inf) = (2u32, 400.0, 550.0);
         let analytic = DelayedResubmission::expectation_with_copies(&m, b, t0, t_inf);
-        let mc = StrategyExecutor::new(w, cfg(8_000))
-            .run(StrategyParams::DelayedMultiple { b, t0, t_inf });
+        let mc = StrategyExecutor::new(w, cfg(8_000)).run(StrategyParams::DelayedMultiple {
+            b,
+            t0,
+            t_inf,
+        });
         let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
         assert!(z < 4.0, "MC {} vs analytic {analytic} (z = {z})", mc.mean_j);
         // up to 2b jobs in flight; realised average in (b, 2b)
@@ -457,8 +729,7 @@ mod tests {
         let w = week();
         let m = reference_model(&w);
         let (t0, t_inf) = (400.0, 550.0);
-        let paper_convention =
-            DelayedResubmission::evaluate(&m, t0, t_inf).n_parallel;
+        let paper_convention = DelayedResubmission::evaluate(&m, t0, t_inf).n_parallel;
         let mc = StrategyExecutor::new(w, cfg(6_000)).run(StrategyParams::Delayed { t0, t_inf });
         assert!(
             (mc.mean_parallel - paper_convention).abs() < 0.15,
@@ -470,11 +741,26 @@ mod tests {
     #[test]
     fn deterministic_across_repeats() {
         let w = week();
-        let a = StrategyExecutor::new(w.clone(), cfg(300))
-            .run(StrategyParams::Single { t_inf: 700.0 });
+        let a =
+            StrategyExecutor::new(w.clone(), cfg(300)).run(StrategyParams::Single { t_inf: 700.0 });
         let b = StrategyExecutor::new(w, cfg(300)).run(StrategyParams::Single { t_inf: 700.0 });
         assert_eq!(a.mean_j.to_bits(), b.mean_j.to_bits());
         assert_eq!(a.mean_submissions.to_bits(), b.mean_submissions.to_bits());
+    }
+
+    #[test]
+    fn trait_object_and_enum_paths_agree_bitwise() {
+        // run(spec) and run_strategy(&concrete) must execute identical
+        // protocols with identical RNG streams
+        let w = week();
+        let ex = StrategyExecutor::new(w, cfg(400));
+        let via_enum = ex.run(StrategyParams::Multiple { b: 2, t_inf: 750.0 });
+        let via_type = ex.run_strategy(&MultipleSubmission::new(2, 750.0));
+        assert_eq!(via_enum.mean_j.to_bits(), via_type.mean_j.to_bits());
+        assert_eq!(
+            via_enum.mean_parallel.to_bits(),
+            via_type.mean_parallel.to_bits()
+        );
     }
 
     #[test]
@@ -499,7 +785,10 @@ mod tests {
             ),
             (
                 "delayed",
-                StrategyParams::Delayed { t0: 400.0, t_inf: 560.0 },
+                StrategyParams::Delayed {
+                    t0: 400.0,
+                    t_inf: 560.0,
+                },
                 DelayedResubmission::expectation(&emp, 400.0, 560.0),
             ),
         ] {
@@ -527,6 +816,170 @@ mod tests {
             (mc.mean_j - analytic).abs() / analytic < 0.08,
             "trace-fitted {analytic} vs MC {}",
             mc.mean_j
+        );
+    }
+
+    // --- scenario sweep ------------------------------------------------------
+
+    fn small_sweep(seed: u64, trials: usize) -> ScenarioSweep {
+        ScenarioSweep::new(
+            vec![
+                StrategyParams::Single { t_inf: 700.0 },
+                StrategyParams::Multiple { b: 2, t_inf: 800.0 },
+                StrategyParams::Delayed {
+                    t0: 400.0,
+                    t_inf: 560.0,
+                },
+            ],
+            vec![WeekId::W2006Ix, WeekId::W2007_51],
+            vec![
+                GridScenario::baseline(),
+                GridScenario::new("faulty", 2.0, 1.0),
+            ],
+            MonteCarloConfig { trials, seed },
+        )
+    }
+
+    #[test]
+    fn sweep_shape_and_cell_order() {
+        let sweep = small_sweep(7, 50);
+        assert_eq!(sweep.n_cells(), 12);
+        assert_eq!(sweep.n_trials_total(), 600);
+        let out = sweep.run();
+        assert_eq!(out.len(), 12);
+        // strategy-major, then week, then scenario
+        assert_eq!(out[0].scenario, "baseline");
+        assert_eq!(out[1].scenario, "faulty");
+        assert_eq!(out[0].week, WeekId::W2006Ix);
+        assert_eq!(out[2].week, WeekId::W2007_51);
+        assert!(matches!(out[0].strategy, StrategyParams::Single { .. }));
+        assert!(matches!(out[4].strategy, StrategyParams::Multiple { .. }));
+        assert!(matches!(out[8].strategy, StrategyParams::Delayed { .. }));
+    }
+
+    #[test]
+    fn sweep_matches_analytic_per_cell() {
+        let out = ScenarioSweep::over_strategies(
+            vec![
+                StrategyParams::Single { t_inf: 700.0 },
+                StrategyParams::Multiple { b: 3, t_inf: 800.0 },
+            ],
+            WeekId::W2006Ix,
+            MonteCarloConfig {
+                trials: 4_000,
+                seed: 0xCE11,
+            },
+        )
+        .run();
+        for cell in &out {
+            let z = (cell.estimate.mean_j - cell.analytic_e_j).abs() / cell.estimate.stderr_j;
+            assert!(
+                z < 4.5,
+                "{:?}/{}: MC {} vs analytic {} (z = {z})",
+                cell.strategy,
+                cell.scenario,
+                cell.estimate.mean_j,
+                cell.analytic_e_j
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_scenarios_shift_the_law_as_configured() {
+        let out = ScenarioSweep::new(
+            vec![StrategyParams::Single { t_inf: 700.0 }],
+            vec![WeekId::W2006Ix],
+            vec![
+                GridScenario::baseline(),
+                GridScenario::new("slow", 1.0, 1.5),
+                GridScenario::new("faulty", 3.0, 1.0),
+            ],
+            MonteCarloConfig {
+                trials: 2_000,
+                seed: 5,
+            },
+        )
+        .run();
+        // slower grid and faultier grid both push E_J up
+        assert!(
+            out[1].analytic_e_j > out[0].analytic_e_j,
+            "latency scale had no effect"
+        );
+        assert!(
+            out[2].analytic_e_j > out[0].analytic_e_j,
+            "fault scale had no effect"
+        );
+        assert!(out[1].estimate.mean_j > out[0].estimate.mean_j);
+        assert!(out[2].estimate.mean_j > out[0].estimate.mean_j);
+    }
+
+    #[test]
+    fn sweep_identical_across_thread_counts() {
+        let run_with = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| small_sweep(99, 200).run())
+        };
+        let a = run_with(1);
+        let b = run_with(5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.estimate.mean_j.to_bits(), y.estimate.mean_j.to_bits());
+            assert_eq!(x.estimate.std_j.to_bits(), y.estimate.std_j.to_bits());
+            assert_eq!(
+                x.estimate.mean_parallel.to_bits(),
+                y.estimate.mean_parallel.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_identical_under_rayon_num_threads_env() {
+        // the env knob users actually reach for must not change results.
+        // NOTE: mutates process-global env for a short window. This is
+        // sound here because every env access in this workspace goes
+        // through std::env (set_var/var share std's internal env lock) and
+        // the dependency tree is pure Rust — no FFI code reads the
+        // environment concurrently via raw getenv. Concurrent tests may
+        // briefly run single-threaded, but their *results* are
+        // thread-count-independent by design, so only wall-clock shifts.
+        let before = small_sweep(3, 120).run();
+        let prev = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let after = small_sweep(3, 120).run();
+        match prev {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        for (x, y) in before.iter().zip(&after) {
+            assert_eq!(x.estimate.mean_j.to_bits(), y.estimate.mean_j.to_bits());
+        }
+    }
+
+    #[test]
+    fn grid_scenario_apply_scales_fields() {
+        let w = week();
+        let s = GridScenario::new("x", 2.0, 1.25);
+        let out = s.apply(&w);
+        assert!((out.rho - 0.2).abs() < 1e-12);
+        assert!((out.shift_s - w.shift_s * 1.25).abs() < 1e-12);
+        // body mean scales linearly with the latency scale
+        assert!((out.body_mean() - w.body_mean() * 1.25).abs() / w.body_mean() < 1e-9);
+        assert!(out.name.contains(":x"));
+        // extreme fault scaling clamps below 1
+        assert!(GridScenario::new("f", 100.0, 1.0).apply(&w).rho <= 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strategy")]
+    fn sweep_rejects_empty_axes() {
+        ScenarioSweep::new(
+            vec![],
+            vec![WeekId::W2006Ix],
+            vec![GridScenario::baseline()],
+            MonteCarloConfig::default(),
         );
     }
 }

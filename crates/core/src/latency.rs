@@ -74,12 +74,16 @@ impl EmpiricalModel {
         samples: &[f64],
         threshold: f64,
     ) -> Result<Self, gridstrat_stats::ecdf::EcdfError> {
-        Ok(EmpiricalModel { ecdf: Ecdf::from_samples(samples, threshold)? })
+        Ok(EmpiricalModel {
+            ecdf: Ecdf::from_samples(samples, threshold)?,
+        })
     }
 
     /// Builds from a probe trace.
     pub fn from_trace(trace: &TraceSet) -> Result<Self, gridstrat_stats::ecdf::EcdfError> {
-        Ok(EmpiricalModel { ecdf: trace.ecdf()? })
+        Ok(EmpiricalModel {
+            ecdf: trace.ecdf()?,
+        })
     }
 
     /// Wraps an already-built ECDF.
@@ -260,7 +264,12 @@ impl<D: Distribution> LatencyModel for ParametricModel<D> {
         if l <= 0.0 {
             return (0.0, 0.0);
         }
-        let c = adaptive_simpson(|u| self.survival(u + shift) * self.survival(u), 0.0, l, QUAD_TOL);
+        let c = adaptive_simpson(
+            |u| self.survival(u + shift) * self.survival(u),
+            0.0,
+            l,
+            QUAD_TOL,
+        );
         let d = adaptive_simpson(
             |u| u * self.survival(u + shift) * self.survival(u),
             0.0,
@@ -359,7 +368,10 @@ mod tests {
         for t in [50.0, 150.0, 350.0, 500.0, 9_000.0] {
             let (a1, b1) = m.powered_survival_integrals(1, t);
             assert!((a1 - m.survival_integral(t)).abs() < 1e-9, "A at {t}");
-            assert!((b1 - m.moment_survival_integral(t)).abs() < 1e-9, "B at {t}");
+            assert!(
+                (b1 - m.moment_survival_integral(t)).abs() < 1e-9,
+                "B at {t}"
+            );
         }
     }
 

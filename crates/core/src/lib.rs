@@ -8,6 +8,9 @@
 //! *defective* CDF `F̃(t) = (1-ρ)·F_R(t)` where `ρ` is the outlier (fault)
 //! ratio. On top of a [`latency::LatencyModel`] the crate provides:
 //!
+//! * [`strategy::Strategy`] — the trait unifying every strategy's analytic
+//!   side (`expected_j`/`std_j`/`n_parallel` over a latency model) with its
+//!   executable side (the simulator controller realising the protocol);
 //! * [`strategy::SingleResubmission`] — cancel at `t∞` and resubmit
 //!   (paper §4, eqs. 1–2);
 //! * [`strategy::MultipleSubmission`] — submit `b` copies, cancel the rest
@@ -20,7 +23,10 @@
 //! * [`transfer`] — the week-to-week parameter-transfer protocol of
 //!   Table 6 (§7.2, “practical implementation”);
 //! * [`executor`] — Monte-Carlo execution of each strategy against the
-//!   [`gridstrat_sim`] discrete-event grid, validating every closed form;
+//!   [`gridstrat_sim`] discrete-event grid, validating every closed form,
+//!   plus the batched [`executor::ScenarioSweep`] evaluating a
+//!   (strategy × week × grid-scenario) grid in one thread-count-independent
+//!   rayon pass;
 //! * [`report`] — fixed-width table / CSV rendering for the reproduction
 //!   harness.
 //!
@@ -45,8 +51,13 @@ pub mod stability;
 pub mod strategy;
 pub mod transfer;
 
-pub use cost::{delta_cost, CostPoint};
+pub use cost::{cost_point, delta_cost, CostPoint, StrategyParams};
+pub use executor::{
+    GridScenario, MonteCarloConfig, MonteCarloEstimate, ScenarioOutcome, ScenarioSweep,
+    StrategyController, StrategyExecutor,
+};
 pub use latency::{EmpiricalModel, LatencyModel, ParametricModel};
 pub use strategy::{
-    DelayedOutcome, DelayedResubmission, MultipleSubmission, SingleResubmission, Timeout1d,
+    DelayedOutcome, DelayedResubmission, MultipleSubmission, SingleResubmission, Strategy,
+    Timeout1d,
 };

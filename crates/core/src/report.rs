@@ -169,7 +169,15 @@ mod tests {
 
     #[test]
     fn write_csv_creates_dirs() {
-        let dir = std::env::temp_dir().join("gridstrat_report_test");
+        // unique per-process, per-call directory: concurrent test runs
+        // (parallel `cargo test` invocations of different targets) must not
+        // collide on a shared temp path
+        static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gridstrat_report_test_{}_{}",
+            std::process::id(),
+            UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         let _ = std::fs::remove_dir_all(&dir);
         let mut t = Table::new("T", &["a"]);
         t.push_row(vec!["x".into()]);

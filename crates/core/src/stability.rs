@@ -33,8 +33,8 @@ pub struct StabilityReport {
 ///
 /// `e_j_single_opt` is the week's optimal single-resubmission expectation
 /// (the eq. 6 baseline).
-pub fn stability_radius<M: LatencyModel + ?Sized>(
-    model: &M,
+pub fn stability_radius(
+    model: &dyn LatencyModel,
     t0: f64,
     t_inf: f64,
     radius: u32,
@@ -80,8 +80,7 @@ mod tests {
     use gridstrat_stats::{LogNormal, Shifted};
 
     fn model() -> ParametricModel<Shifted<LogNormal>> {
-        let body =
-            Shifted::new(LogNormal::from_mean_std(360.0, 880.0).unwrap(), 150.0).unwrap();
+        let body = Shifted::new(LogNormal::from_mean_std(360.0, 880.0).unwrap(), 150.0).unwrap();
         ParametricModel::new(body, 0.05, 1e4).unwrap()
     }
 

@@ -42,7 +42,9 @@
 //! reports; the true `E[N_//(J)]` is available through the Monte-Carlo
 //! executor for comparison.
 
-use super::Timeout1d;
+use super::{Strategy, Timeout1d};
+use crate::cost::StrategyParams;
+use crate::executor::{DelayedCtrl, StrategyController};
 use crate::latency::LatencyModel;
 use gridstrat_stats::optimize::{grid_min_2d, refine_grid_1d, GridSpec};
 
@@ -61,11 +63,53 @@ pub struct DelayedOutcome {
     pub n_parallel: f64,
 }
 
-/// The delayed-resubmission strategy model.
-#[derive(Debug, Clone, Copy)]
-pub struct DelayedResubmission;
+/// The delayed-resubmission strategy: an instance carries its delay `t0`,
+/// timeout `t∞` and copies-per-echelon count (`1` in the paper; `> 1` is
+/// the generalised extension); the associated functions expose the eq.-5
+/// closed forms directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayedResubmission {
+    /// Copies submitted per echelon (`1` = the paper's strategy).
+    pub copies: u32,
+    /// Resubmission delay `t0`, seconds.
+    pub t0: f64,
+    /// Cancellation timeout `t∞`, seconds.
+    pub t_inf: f64,
+}
 
 impl DelayedResubmission {
+    /// Family name used in reports and sweeps.
+    pub const FAMILY: &'static str = "delayed";
+
+    /// Family name of the generalised (`b > 1` copies) variant.
+    pub const FAMILY_MULTI: &'static str = "delayed-multiple";
+
+    /// Creates the paper's strategy instance; the pair must be feasible.
+    pub fn new(t0: f64, t_inf: f64) -> Self {
+        Self::with_copies(1, t0, t_inf)
+    }
+
+    /// Creates a generalised instance submitting `b ≥ 1` copies per
+    /// echelon; the pair must be feasible.
+    pub fn with_copies(b: u32, t0: f64, t_inf: f64) -> Self {
+        assert!(b >= 1, "need at least one copy per echelon");
+        assert!(
+            Self::feasible(t0, t_inf),
+            "delayed strategy requires a feasible (t0, t∞) pair, got ({t0}, {t_inf})"
+        );
+        DelayedResubmission {
+            copies: b,
+            t0,
+            t_inf,
+        }
+    }
+
+    /// The `E_J`-optimal instance for `model` (free 2-D optimization).
+    pub fn optimized<M: LatencyModel + ?Sized>(model: &M) -> Self {
+        let out = Self::optimize(model);
+        Self::new(out.t0, out.t_inf)
+    }
+
     /// Feasibility of a parameter pair: `0 < t0 ≤ t∞ ≤ 2·t0`.
     pub fn feasible(t0: f64, t_inf: f64) -> bool {
         t0 > 0.0 && t0 <= t_inf && t_inf <= 2.0 * t0
@@ -111,12 +155,7 @@ impl DelayedResubmission {
     }
 
     /// Returns `(E[J], E[J²])` of the `b`-copy generalisation.
-    fn raw_moments<M: LatencyModel + ?Sized>(
-        model: &M,
-        b: u32,
-        t0: f64,
-        t_inf: f64,
-    ) -> (f64, f64) {
+    fn raw_moments<M: LatencyModel + ?Sized>(model: &M, b: u32, t0: f64, t_inf: f64) -> (f64, f64) {
         assert!(b >= 1, "need at least one copy per echelon");
         if !Self::feasible(t0, t_inf) {
             return (f64::INFINITY, f64::INFINITY);
@@ -135,8 +174,8 @@ impl DelayedResubmission {
         let d1 = b_t0 - b_l;
         let inv = 1.0 / (1.0 - q); // = 1/G_b(t∞)
         let e = a_t0 + c0 * inv + q * c1 * inv;
-        let e2 = 2.0
-            * (b_t0 + d0 * inv + t0 * c0 * inv * inv + q * d1 * inv + q * t0 * c1 * inv * inv);
+        let e2 =
+            2.0 * (b_t0 + d0 * inv + t0 * c0 * inv * inv + q * d1 * inv + q * t0 * c1 * inv * inv);
         (e, e2)
     }
 
@@ -177,16 +216,30 @@ impl DelayedResubmission {
         } else {
             f64::NAN
         };
-        DelayedOutcome { t0, t_inf, expectation: e, std_dev: s, n_parallel: n_par }
+        DelayedOutcome {
+            t0,
+            t_inf,
+            expectation: e,
+            std_dev: s,
+            n_parallel: n_par,
+        }
     }
 
     /// Global minimisation of `E_J` over the feasible `(t0, t∞)` region by
     /// multi-resolution grid search (the surface of Fig. 5 is smooth but
     /// not convex; the paper also minimises numerically).
     pub fn optimize<M: LatencyModel + ?Sized>(model: &M) -> DelayedOutcome {
+        Self::optimize_with_copies(model, 1)
+    }
+
+    /// [`DelayedResubmission::optimize`] for the `b`-copy generalisation:
+    /// minimises the *b-copy* `E_J` (the optimal pair shifts with `b`,
+    /// exactly as the multiple strategy's optimal timeout does).
+    pub fn optimize_with_copies<M: LatencyModel + ?Sized>(model: &M, b: u32) -> DelayedOutcome {
+        assert!(b >= 1, "need at least one copy per echelon");
         let (lo, hi) = model.plausible_range();
         let best = grid_min_2d(
-            |t0, ti| Self::expectation(model, t0, ti),
+            |t0, ti| Self::expectation_with_copies(model, b, t0, ti),
             (lo, hi),
             (lo, (2.0 * hi).min(model.horizon())),
             48,
@@ -194,7 +247,19 @@ impl DelayedResubmission {
             &|t0, ti| Self::feasible(t0, ti),
         )
         .expect("feasible region is non-empty");
-        Self::evaluate(model, best.x, best.y)
+        let (e, s) = Self::moments_with_copies(model, b, best.x, best.y);
+        let n_par = if e.is_finite() {
+            Self::n_parallel_at_with_copies(b, e, best.x, best.y)
+        } else {
+            f64::NAN
+        };
+        DelayedOutcome {
+            t0: best.x,
+            t_inf: best.y,
+            expectation: e,
+            std_dev: s,
+            n_parallel: n_par,
+        }
     }
 
     /// Minimises `E_J` under the constraint `t∞ = ratio·t0`
@@ -217,7 +282,61 @@ impl DelayedResubmission {
     /// (`t∞ = t0`), for cross-checks.
     pub fn degenerate_as_single<M: LatencyModel + ?Sized>(model: &M, t0: f64) -> Timeout1d {
         let (e, s) = Self::moments(model, t0, t0);
-        Timeout1d { timeout: t0, expectation: e, std_dev: s }
+        Timeout1d {
+            timeout: t0,
+            expectation: e,
+            std_dev: s,
+        }
+    }
+}
+
+impl Strategy for DelayedResubmission {
+    fn name(&self) -> &'static str {
+        if self.copies == 1 {
+            Self::FAMILY
+        } else {
+            Self::FAMILY_MULTI
+        }
+    }
+
+    fn params(&self) -> StrategyParams {
+        if self.copies == 1 {
+            StrategyParams::Delayed {
+                t0: self.t0,
+                t_inf: self.t_inf,
+            }
+        } else {
+            StrategyParams::DelayedMultiple {
+                b: self.copies,
+                t0: self.t0,
+                t_inf: self.t_inf,
+            }
+        }
+    }
+
+    fn expected_j(&self, model: &dyn LatencyModel) -> f64 {
+        Self::expectation_with_copies(model, self.copies, self.t0, self.t_inf)
+    }
+
+    fn std_j(&self, model: &dyn LatencyModel) -> f64 {
+        Self::moments_with_copies(model, self.copies, self.t0, self.t_inf).1
+    }
+
+    fn n_parallel_for(&self, e_j: f64) -> f64 {
+        if e_j.is_finite() && Self::feasible(self.t0, self.t_inf) {
+            Self::n_parallel_at_with_copies(self.copies, e_j, self.t0, self.t_inf)
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn build_controller(&self) -> Box<dyn StrategyController> {
+        Box::new(DelayedCtrl::new(self.copies, self.t0, self.t_inf))
+    }
+
+    fn tune(&self, model: &dyn LatencyModel) -> Self {
+        let out = Self::optimize_with_copies(model, self.copies);
+        Self::with_copies(self.copies, out.t0, out.t_inf)
     }
 }
 
@@ -230,8 +349,7 @@ mod tests {
     use gridstrat_stats::{Distribution, LogNormal, Shifted};
 
     fn heavy_model() -> ParametricModel<Shifted<LogNormal>> {
-        let body =
-            Shifted::new(LogNormal::from_mean_std(360.0, 880.0).unwrap(), 150.0).unwrap();
+        let body = Shifted::new(LogNormal::from_mean_std(360.0, 880.0).unwrap(), 150.0).unwrap();
         ParametricModel::new(body, 0.05, 1e4).unwrap()
     }
 
@@ -470,6 +588,31 @@ mod tests {
     }
 
     #[test]
+    fn multi_copy_tuning_optimizes_its_own_law() {
+        // tune on a b-copy instance must minimise the b-copy E_J, not the
+        // single-copy objective: the b=1-optimal pair applied to the b-copy
+        // law cannot beat the b-copy optimum
+        use crate::strategy::Strategy;
+        let m = heavy_model();
+        let b = 3u32;
+        let tuned = DelayedResubmission::with_copies(b, 300.0, 450.0).tune(&m);
+        assert_eq!(tuned.copies, b);
+        let own = DelayedResubmission::expectation_with_copies(&m, b, tuned.t0, tuned.t_inf);
+        let single_opt = DelayedResubmission::optimize(&m);
+        let borrowed =
+            DelayedResubmission::expectation_with_copies(&m, b, single_opt.t0, single_opt.t_inf);
+        assert!(
+            own <= borrowed + 1e-6,
+            "b-copy tune ({own}) beaten by the b=1 pair ({borrowed})"
+        );
+        // and the b=1 path is unchanged: optimize == optimize_with_copies(1)
+        let a = DelayedResubmission::optimize(&m);
+        let c = DelayedResubmission::optimize_with_copies(&m, 1);
+        assert_eq!(a.expectation.to_bits(), c.expectation.to_bits());
+        assert_eq!(a.n_parallel.to_bits(), c.n_parallel.to_bits());
+    }
+
+    #[test]
     fn ratio_constrained_optimization() {
         let m = heavy_model();
         let r13 = DelayedResubmission::optimize_with_ratio(&m, 1.3);
@@ -512,7 +655,13 @@ mod tests {
     #[test]
     fn infeasible_pairs_are_infinite() {
         let m = heavy_model();
-        assert_eq!(DelayedResubmission::expectation(&m, 300.0, 700.0), f64::INFINITY);
-        assert_eq!(DelayedResubmission::expectation(&m, 300.0, 200.0), f64::INFINITY);
+        assert_eq!(
+            DelayedResubmission::expectation(&m, 300.0, 700.0),
+            f64::INFINITY
+        );
+        assert_eq!(
+            DelayedResubmission::expectation(&m, 300.0, 200.0),
+            f64::INFINITY
+        );
     }
 }

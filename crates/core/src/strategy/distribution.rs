@@ -107,7 +107,10 @@ impl<'a, M: LatencyModel + ?Sized> JDistribution<'a, M> {
     /// monotone and continuous except for at most countably many jumps
     /// inherited from an empirical `F̃`).
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile level must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&p) && p > 0.0,
+            "quantile level must be in (0,1)"
+        );
         let mut hi = self.model.horizon();
         while self.cdf(hi) < p {
             hi *= 2.0;
@@ -172,8 +175,15 @@ mod tests {
         vec![
             StrategyParams::Single { t_inf: 700.0 },
             StrategyParams::Multiple { b: 3, t_inf: 800.0 },
-            StrategyParams::Delayed { t0: 400.0, t_inf: 560.0 },
-            StrategyParams::DelayedMultiple { b: 2, t0: 400.0, t_inf: 560.0 },
+            StrategyParams::Delayed {
+                t0: 400.0,
+                t_inf: 560.0,
+            },
+            StrategyParams::DelayedMultiple {
+                b: 2,
+                t0: 400.0,
+                t_inf: 560.0,
+            },
         ]
     }
 
@@ -209,11 +219,18 @@ mod tests {
                 MultipleSubmission::expectation(&m, 3, 800.0),
             ),
             (
-                StrategyParams::Delayed { t0: 400.0, t_inf: 560.0 },
+                StrategyParams::Delayed {
+                    t0: 400.0,
+                    t_inf: 560.0,
+                },
                 DelayedResubmission::expectation(&m, 400.0, 560.0),
             ),
             (
-                StrategyParams::DelayedMultiple { b: 2, t0: 400.0, t_inf: 560.0 },
+                StrategyParams::DelayedMultiple {
+                    b: 2,
+                    t0: 400.0,
+                    t_inf: 560.0,
+                },
                 DelayedResubmission::expectation_with_copies(&m, 2, 400.0, 560.0),
             ),
         ];
@@ -253,7 +270,11 @@ mod tests {
         // the n-task makespan median solves F^n = 1/2
         let mk = d.makespan_quantile(100, 0.5);
         let f = d.cdf(mk);
-        assert!((f.powi(100) - 0.5).abs() < 0.01, "F(mk)^100 = {}", f.powi(100));
+        assert!(
+            (f.powi(100) - 0.5).abs() < 0.01,
+            "F(mk)^100 = {}",
+            f.powi(100)
+        );
         // more tasks ⇒ later makespan, and always ≥ the single-task quantile
         assert!(d.makespan_quantile(1000, 0.5) > mk);
         assert!(mk > d.quantile(0.5));
@@ -263,7 +284,8 @@ mod tests {
     fn makespan_ranks_strategies_like_the_sampler_study() {
         let m = model();
         let single = JDistribution::new(&m, StrategyParams::Single { t_inf: 700.0 }).unwrap();
-        let multi = JDistribution::new(&m, StrategyParams::Multiple { b: 3, t_inf: 800.0 }).unwrap();
+        let multi =
+            JDistribution::new(&m, StrategyParams::Multiple { b: 3, t_inf: 800.0 }).unwrap();
         let n = 500;
         let ms = single.makespan_quantile(n, 0.5);
         let mm = multi.makespan_quantile(n, 0.5);
@@ -277,9 +299,14 @@ mod tests {
     fn construction_validates() {
         let m = model();
         assert!(JDistribution::new(&m, StrategyParams::Single { t_inf: 10.0 }).is_err());
-        assert!(
-            JDistribution::new(&m, StrategyParams::Delayed { t0: 100.0, t_inf: 900.0 }).is_err()
-        );
+        assert!(JDistribution::new(
+            &m,
+            StrategyParams::Delayed {
+                t0: 100.0,
+                t_inf: 900.0
+            }
+        )
+        .is_err());
     }
 
     #[test]

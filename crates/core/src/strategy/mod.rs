@@ -1,4 +1,5 @@
-//! The three client-side submission strategies of the paper.
+//! The three client-side submission strategies of the paper, unified
+//! behind the [`Strategy`] trait.
 //!
 //! | Strategy | Paper | Parameters | Model |
 //! |---|---|---|---|
@@ -6,8 +7,17 @@
 //! | [`MultipleSubmission`] | §5, eqs. 3–4 | copies `b`, timeout `t∞` | burst of `b`, cancel rest on first start |
 //! | [`DelayedResubmission`] | §6, eq. 5 | delay `t0`, timeout `t∞` | copy at `t0`, cancel original at `t∞` |
 //!
-//! All three expose closed-form `E_J` / `σ_J` over a [`crate::latency::LatencyModel`]
-//! plus exact (single/multiple) or multi-resolution (delayed) optimizers.
+//! Each strategy type is **both** a parameterised instance (fields hold its
+//! tuned parameters; [`Strategy`] computes `E_J`/`σ_J`/`N_//` and builds
+//! the simulator controller realising the protocol) **and** a namespace of
+//! associated closed-form functions (`expectation`, `std_dev`, `optimize`,
+//! …) over any [`crate::latency::LatencyModel`]. The closed forms are exact
+//! (single/multiple) or multi-resolution (delayed) — see each module.
+//!
+//! [`crate::cost::StrategyParams`] — the plain-data description of a
+//! strategy instance — also implements [`Strategy`] by delegating to the
+//! matching concrete type, so heterogeneous collections of strategies
+//! (scenario sweeps, report tables) need no manual dispatch.
 
 pub mod delayed;
 pub mod distribution;
@@ -19,6 +29,10 @@ pub use distribution::JDistribution;
 pub use multiple::MultipleSubmission;
 pub use single::SingleResubmission;
 
+use crate::cost::StrategyParams;
+use crate::executor::StrategyController;
+use crate::latency::LatencyModel;
+
 /// Outcome of a 1-D timeout optimization.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Timeout1d {
@@ -28,4 +42,241 @@ pub struct Timeout1d {
     pub expectation: f64,
     /// `σ_J` at the optimum, seconds.
     pub std_dev: f64,
+}
+
+/// A parameterised client-side submission strategy.
+///
+/// Unifies the two faces every strategy has in the reproduction:
+///
+/// * the **analytic** side — closed-form moments of the total latency `J`
+///   and the paper's parallel-job count over any latency model
+///   ([`Strategy::expected_j`], [`Strategy::std_j`],
+///   [`Strategy::n_parallel`]);
+/// * the **executable** side — a [`gridstrat_sim::Controller`] that drives
+///   the discrete-event grid exactly as a user's wrapper script would
+///   ([`Strategy::build_controller`]), used by the Monte-Carlo executors to
+///   validate the closed forms.
+///
+/// The trait is object-safe: sweeps and executors work with
+/// `&dyn Strategy`. [`Strategy::tune`] (re-optimising the instance's free
+/// parameters on a model) is `Self: Sized` and therefore reachable on
+/// concrete types and on [`StrategyParams`].
+pub trait Strategy: Send + Sync {
+    /// Short human-readable strategy family name.
+    fn name(&self) -> &'static str;
+
+    /// The plain-data description of this instance.
+    fn params(&self) -> StrategyParams;
+
+    /// Expected total latency `E_J` over `model`, seconds
+    /// (`+∞` when the instance cannot complete on this model).
+    fn expected_j(&self, model: &dyn LatencyModel) -> f64;
+
+    /// Standard deviation `σ_J` over `model`, seconds.
+    fn std_j(&self, model: &dyn LatencyModel) -> f64;
+
+    /// Mean number of parallel jobs `N_//` under the paper's convention
+    /// given an already-computed expectation `e_j` (`N_//(E_J)`; exactly
+    /// `b` for multiple submission and 1 for single resubmission). Callers
+    /// that already hold `E_J` should prefer this over
+    /// [`Strategy::n_parallel`], which recomputes it.
+    fn n_parallel_for(&self, e_j: f64) -> f64;
+
+    /// Mean number of parallel jobs `N_//` over `model` (the paper's
+    /// `N_//(E_J)` convention).
+    fn n_parallel(&self, model: &dyn LatencyModel) -> f64 {
+        self.n_parallel_for(self.expected_j(model))
+    }
+
+    /// Builds the simulator controller that realises this strategy against
+    /// a [`gridstrat_sim::GridSimulation`]. Panics for instances whose
+    /// protocol cannot be executed (e.g. an infeasible delayed pair) —
+    /// validate with [`Strategy::expected_j`] first when in doubt.
+    fn build_controller(&self) -> Box<dyn StrategyController>;
+
+    /// Re-optimises the instance's *free* parameters on `model`, keeping
+    /// structural ones (the collection size `b`, the copies-per-echelon
+    /// count) fixed: the timeout for single/multiple, the `(t0, t∞)` pair
+    /// for delayed.
+    fn tune(&self, model: &dyn LatencyModel) -> Self
+    where
+        Self: Sized;
+}
+
+impl Strategy for StrategyParams {
+    fn name(&self) -> &'static str {
+        match self {
+            StrategyParams::Single { .. } => SingleResubmission::FAMILY,
+            StrategyParams::Multiple { .. } => MultipleSubmission::FAMILY,
+            StrategyParams::Delayed { .. } => DelayedResubmission::FAMILY,
+            StrategyParams::DelayedMultiple { .. } => DelayedResubmission::FAMILY_MULTI,
+        }
+    }
+
+    fn params(&self) -> StrategyParams {
+        *self
+    }
+
+    fn expected_j(&self, model: &dyn LatencyModel) -> f64 {
+        dispatch(
+            self,
+            |s| s.expected_j(model),
+            |s| s.expected_j(model),
+            |s| s.expected_j(model),
+        )
+    }
+
+    fn std_j(&self, model: &dyn LatencyModel) -> f64 {
+        dispatch(
+            self,
+            |s| s.std_j(model),
+            |s| s.std_j(model),
+            |s| s.std_j(model),
+        )
+    }
+
+    fn n_parallel_for(&self, e_j: f64) -> f64 {
+        dispatch(
+            self,
+            |s| s.n_parallel_for(e_j),
+            |s| s.n_parallel_for(e_j),
+            |s| s.n_parallel_for(e_j),
+        )
+    }
+
+    fn build_controller(&self) -> Box<dyn StrategyController> {
+        dispatch(
+            self,
+            |s| s.build_controller(),
+            |s| s.build_controller(),
+            |s| s.build_controller(),
+        )
+    }
+
+    fn tune(&self, model: &dyn LatencyModel) -> Self {
+        dispatch(
+            self,
+            |s| s.tune(model).params(),
+            |s| s.tune(model).params(),
+            |s| s.tune(model).params(),
+        )
+    }
+}
+
+/// Single point where the parameter enum turns into concrete strategy
+/// instances — every [`Strategy`] method of [`StrategyParams`] funnels
+/// through here, so no other module needs to match on the enum.
+///
+/// Instances are constructed *leniently* (no feasibility assertions), so
+/// the analytic trait methods mirror the closed forms exactly: an
+/// infeasible delayed pair yields `+∞`/`NaN` instead of a panic — the
+/// behaviour parameter scans rely on. Executing such a pair
+/// ([`Strategy::build_controller`]) still panics, in the controller.
+fn dispatch<T>(
+    params: &StrategyParams,
+    single: impl FnOnce(SingleResubmission) -> T,
+    multiple: impl FnOnce(MultipleSubmission) -> T,
+    delayed: impl FnOnce(DelayedResubmission) -> T,
+) -> T {
+    match *params {
+        StrategyParams::Single { t_inf } => single(SingleResubmission { t_inf }),
+        StrategyParams::Multiple { b, t_inf } => multiple(MultipleSubmission { b, t_inf }),
+        StrategyParams::Delayed { t0, t_inf } => delayed(DelayedResubmission {
+            copies: 1,
+            t0,
+            t_inf,
+        }),
+        StrategyParams::DelayedMultiple { b, t0, t_inf } => delayed(DelayedResubmission {
+            copies: b,
+            t0,
+            t_inf,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ParametricModel;
+    use gridstrat_stats::{LogNormal, Shifted};
+
+    fn heavy_model() -> ParametricModel<Shifted<LogNormal>> {
+        let body = Shifted::new(LogNormal::from_mean_std(360.0, 880.0).unwrap(), 150.0).unwrap();
+        ParametricModel::new(body, 0.05, 1e4).unwrap()
+    }
+
+    #[test]
+    fn params_delegate_to_concrete_types() {
+        let m = heavy_model();
+        let cases: Vec<(StrategyParams, f64, f64)> = vec![
+            (
+                StrategyParams::Single { t_inf: 700.0 },
+                SingleResubmission::expectation(&m, 700.0),
+                1.0,
+            ),
+            (
+                StrategyParams::Multiple { b: 3, t_inf: 800.0 },
+                MultipleSubmission::expectation(&m, 3, 800.0),
+                3.0,
+            ),
+            (
+                StrategyParams::Delayed {
+                    t0: 400.0,
+                    t_inf: 560.0,
+                },
+                DelayedResubmission::expectation(&m, 400.0, 560.0),
+                DelayedResubmission::evaluate(&m, 400.0, 560.0).n_parallel,
+            ),
+        ];
+        for (spec, want_e, want_n) in cases {
+            assert_eq!(spec.expected_j(&m).to_bits(), want_e.to_bits(), "{spec:?}");
+            assert!((spec.n_parallel(&m) - want_n).abs() < 1e-12, "{spec:?}");
+            assert_eq!(spec.params(), spec);
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let m = heavy_model();
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(SingleResubmission::new(700.0)),
+            Box::new(MultipleSubmission::new(2, 800.0)),
+            Box::new(DelayedResubmission::new(400.0, 560.0)),
+        ];
+        for s in &strategies {
+            let e = s.expected_j(&m);
+            assert!(e.is_finite() && e > 0.0, "{}", s.name());
+            assert!(s.std_j(&m).is_finite());
+            assert!(s.n_parallel(&m) >= 1.0);
+        }
+        // names are distinct per family
+        assert_eq!(strategies[0].name(), "single");
+        assert_eq!(strategies[1].name(), "multiple");
+        assert_eq!(strategies[2].name(), "delayed");
+    }
+
+    #[test]
+    fn tune_keeps_structural_parameters() {
+        let m = heavy_model();
+        let tuned = StrategyParams::Multiple { b: 4, t_inf: 123.0 }.tune(&m);
+        match tuned {
+            StrategyParams::Multiple { b, t_inf } => {
+                assert_eq!(b, 4);
+                let opt = MultipleSubmission::optimize(&m, 4);
+                assert_eq!(t_inf.to_bits(), opt.timeout.to_bits());
+            }
+            other => panic!("tune changed the variant: {other:?}"),
+        }
+        let tuned = StrategyParams::Delayed {
+            t0: 300.0,
+            t_inf: 400.0,
+        }
+        .tune(&m);
+        match tuned {
+            StrategyParams::Delayed { t0, t_inf } => {
+                assert!(DelayedResubmission::feasible(t0, t_inf));
+            }
+            other => panic!("tune changed the variant: {other:?}"),
+        }
+    }
 }

@@ -13,14 +13,36 @@
 //! `J = N·t∞ + R_f` with `N` geometric (failure prob. `q`) independent of
 //! `R_f ~ R | R < t∞`; it matches the paper's expression exactly.
 
-use super::Timeout1d;
+use super::{Strategy, Timeout1d};
+use crate::cost::StrategyParams;
+use crate::executor::{SingleCtrl, StrategyController};
 use crate::latency::LatencyModel;
 
-/// The single-resubmission strategy model.
-#[derive(Debug, Clone, Copy)]
-pub struct SingleResubmission;
+/// The single-resubmission strategy: an instance carries its timeout `t∞`;
+/// the associated functions expose the closed forms of eqs. 1–2 directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleResubmission {
+    /// Cancellation/resubmission timeout `t∞`, seconds.
+    pub t_inf: f64,
+}
 
 impl SingleResubmission {
+    /// Family name used in reports and sweeps.
+    pub const FAMILY: &'static str = "single";
+
+    /// Creates an instance with timeout `t∞ > 0`.
+    pub fn new(t_inf: f64) -> Self {
+        assert!(
+            t_inf.is_finite() && t_inf > 0.0,
+            "timeout must be positive, got {t_inf}"
+        );
+        SingleResubmission { t_inf }
+    }
+
+    /// The `E_J`-optimal instance for `model` (exact for empirical models).
+    pub fn optimized<M: LatencyModel + ?Sized>(model: &M) -> Self {
+        SingleResubmission::new(Self::optimize(model).timeout)
+    }
     /// `E_J(t∞)` — eq. 1. Returns `+∞` when `F̃(t∞) = 0` (a timeout below
     /// the minimum latency can never succeed).
     pub fn expectation<M: LatencyModel + ?Sized>(model: &M, t_inf: f64) -> f64 {
@@ -63,7 +85,11 @@ impl SingleResubmission {
         for t in model.candidate_timeouts() {
             let e = Self::expectation(model, t);
             if e < best.expectation {
-                best = Timeout1d { timeout: t, expectation: e, std_dev: f64::NAN };
+                best = Timeout1d {
+                    timeout: t,
+                    expectation: e,
+                    std_dev: f64::NAN,
+                };
             }
         }
         assert!(
@@ -72,6 +98,36 @@ impl SingleResubmission {
         );
         best.std_dev = Self::std_dev(model, best.timeout);
         best
+    }
+}
+
+impl Strategy for SingleResubmission {
+    fn name(&self) -> &'static str {
+        Self::FAMILY
+    }
+
+    fn params(&self) -> StrategyParams {
+        StrategyParams::Single { t_inf: self.t_inf }
+    }
+
+    fn expected_j(&self, model: &dyn LatencyModel) -> f64 {
+        Self::expectation(model, self.t_inf)
+    }
+
+    fn std_j(&self, model: &dyn LatencyModel) -> f64 {
+        Self::std_dev(model, self.t_inf)
+    }
+
+    fn n_parallel_for(&self, _e_j: f64) -> f64 {
+        1.0 // exactly one job in flight at all times
+    }
+
+    fn build_controller(&self) -> Box<dyn StrategyController> {
+        Box::new(SingleCtrl::new(self.t_inf))
+    }
+
+    fn tune(&self, model: &dyn LatencyModel) -> Self {
+        Self::optimized(model)
     }
 }
 
@@ -127,11 +183,14 @@ mod tests {
         // (For a *memoryless* body the optimum is t∞ → 0 — see the test
         // above — which is why the distinction matters.)
         use gridstrat_stats::{LogNormal, Shifted};
-        let body =
-            Shifted::new(LogNormal::from_mean_std(360.0, 880.0).unwrap(), 150.0).unwrap();
+        let body = Shifted::new(LogNormal::from_mean_std(360.0, 880.0).unwrap(), 150.0).unwrap();
         let m = ParametricModel::new(body, 0.2, 1e4).unwrap();
         let opt = SingleResubmission::optimize(&m);
-        assert!(opt.timeout > 150.0 && opt.timeout < 9_000.0, "t* = {}", opt.timeout);
+        assert!(
+            opt.timeout > 150.0 && opt.timeout < 9_000.0,
+            "t* = {}",
+            opt.timeout
+        );
         // optimum beats both extremes
         assert!(opt.expectation < SingleResubmission::expectation(&m, 9_999.0));
         assert!(opt.expectation < SingleResubmission::expectation(&m, 155.0));
@@ -174,8 +233,14 @@ mod tests {
         }
         let mean = sum / trials as f64;
         let std = (sq / trials as f64 - mean * mean).sqrt();
-        assert!((mean - e_model).abs() / e_model < 0.02, "E: {mean} vs {e_model}");
-        assert!((std - s_model).abs() / s_model < 0.03, "σ: {std} vs {s_model}");
+        assert!(
+            (mean - e_model).abs() / e_model < 0.02,
+            "E: {mean} vs {e_model}"
+        );
+        assert!(
+            (std - s_model).abs() / s_model < 0.03,
+            "σ: {std} vs {s_model}"
+        );
     }
 
     #[test]
@@ -212,6 +277,10 @@ mod tests {
         let opt = SingleResubmission::optimize(&m);
         let body_mean = m.body_mean();
         // E_J within 2× of the no-outlier mean, not dragged to 10⁴
-        assert!(opt.expectation < 2.0 * body_mean, "E_J = {}", opt.expectation);
+        assert!(
+            opt.expectation < 2.0 * body_mean,
+            "E_J = {}",
+            opt.expectation
+        );
     }
 }

@@ -44,9 +44,7 @@ pub struct TransferReport {
 /// Input: for each week, its name, its latency model, and its `∆cost`-optimal
 /// `(t0, t∞)` pair. Output: one [`TransferReport`] per week, evaluating every
 /// pair under that week's model (the full Table 6 matrix).
-pub fn transfer_matrix<M: LatencyModel>(
-    weeks: &[(String, M, (f64, f64))],
-) -> Vec<TransferReport> {
+pub fn transfer_matrix<M: LatencyModel>(weeks: &[(String, M, (f64, f64))]) -> Vec<TransferReport> {
     assert!(!weeks.is_empty(), "need at least one week");
     weeks
         .iter()
@@ -56,8 +54,7 @@ pub fn transfer_matrix<M: LatencyModel>(
             let cells: Vec<TransferCell> = weeks
                 .iter()
                 .map(|(pname, _, (t0, ti))| {
-                    let p: CostPoint =
-                        delayed_delta_cost_at(model, *t0, *ti, single.expectation);
+                    let p: CostPoint = delayed_delta_cost_at(model, *t0, *ti, single.expectation);
                     TransferCell {
                         param_week: pname.clone(),
                         t0: *t0,
@@ -72,8 +69,7 @@ pub fn transfer_matrix<M: LatencyModel>(
                 .iter()
                 .map(|c| c.delta_cost)
                 .fold(f64::NEG_INFINITY, f64::max);
-            let prev_diff_pct =
-                (i > 0).then(|| (cells[i - 1].delta_cost - own) / own * 100.0);
+            let prev_diff_pct = (i > 0).then(|| (cells[i - 1].delta_cost - own) / own * 100.0);
             TransferReport {
                 eval_week: name.clone(),
                 cells,
@@ -104,9 +100,8 @@ mod tests {
         specs
             .iter()
             .map(|&(name, mean, sd, rho)| {
-                let body =
-                    Shifted::new(LogNormal::from_mean_std(mean - 150.0, sd).unwrap(), 150.0)
-                        .unwrap();
+                let body = Shifted::new(LogNormal::from_mean_std(mean - 150.0, sd).unwrap(), 150.0)
+                    .unwrap();
                 let m = ParametricModel::new(body, rho, 1e4).unwrap();
                 let best = optimize_delayed_delta_cost(&m);
                 let pair = match best.params {

@@ -2,10 +2,9 @@
 
 use crate::time::SimDuration;
 use gridstrat_workload::WeekModel;
-use serde::{Deserialize, Serialize};
 
 /// How job latencies come about.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum LatencyMode {
     /// Latency of each client job is drawn i.i.d. from a calibrated weekly
     /// model; draws at/above the censoring threshold make the job
@@ -29,7 +28,7 @@ pub enum LatencyMode {
 }
 
 /// One computing site (a Computing Element fronting a batch farm).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SiteConfig {
     /// Human-readable site name.
     pub name: String,
@@ -40,7 +39,7 @@ pub struct SiteConfig {
 }
 
 /// WMS behaviour (hop delays are exponential with the given means).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WmsConfig {
     /// Mean UI → WMS transfer + registration delay, seconds.
     pub ui_to_wms_mean_s: f64,
@@ -64,7 +63,7 @@ pub struct WmsConfig {
 /// (paper §1); `LeastLoaded { stale_prob }` models that: with probability
 /// `stale_prob` the choice is weight-random (information was stale),
 /// otherwise the currently least-loaded site is picked.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub enum RankingPolicy {
     /// Pick a site at random, proportional to its weight.
     WeightedRandom,
@@ -77,7 +76,7 @@ pub enum RankingPolicy {
 }
 
 /// Fault injection for the pipeline regime.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FaultConfig {
     /// Probability that a submission is silently lost (the job never
     /// produces another event — the paper's outliers).
@@ -100,7 +99,7 @@ impl Default for FaultConfig {
 }
 
 /// Background (non-client) traffic keeping the farm busy.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BackgroundLoadConfig {
     /// Poisson arrival rate of background jobs, jobs per second (whole grid).
     pub arrival_rate_per_s: f64,
@@ -121,7 +120,7 @@ impl Default for BackgroundLoadConfig {
 }
 
 /// Complete simulation configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GridConfig {
     /// Latency regime.
     pub latency: LatencyMode,
@@ -164,7 +163,10 @@ impl GridConfig {
             WeekModel::calibrate("placeholder", 2.0, 1.0, 0.0, 0.0, 10.0)
                 .expect("static placeholder parameters are valid"),
         );
-        cfg.latency = LatencyMode::Resample { latencies, threshold_s };
+        cfg.latency = LatencyMode::Resample {
+            latencies,
+            threshold_s,
+        };
         cfg
     }
 
@@ -174,11 +176,31 @@ impl GridConfig {
         GridConfig {
             latency: LatencyMode::Pipeline,
             sites: vec![
-                SiteConfig { name: "CC-LYON".into(), slots: 120, weight: 3.0 },
-                SiteConfig { name: "CNAF".into(), slots: 80, weight: 2.0 },
-                SiteConfig { name: "NIKHEF".into(), slots: 60, weight: 2.0 },
-                SiteConfig { name: "GRIF".into(), slots: 40, weight: 1.0 },
-                SiteConfig { name: "RAL".into(), slots: 30, weight: 1.0 },
+                SiteConfig {
+                    name: "CC-LYON".into(),
+                    slots: 120,
+                    weight: 3.0,
+                },
+                SiteConfig {
+                    name: "CNAF".into(),
+                    slots: 80,
+                    weight: 2.0,
+                },
+                SiteConfig {
+                    name: "NIKHEF".into(),
+                    slots: 60,
+                    weight: 2.0,
+                },
+                SiteConfig {
+                    name: "GRIF".into(),
+                    slots: 40,
+                    weight: 1.0,
+                },
+                SiteConfig {
+                    name: "RAL".into(),
+                    slots: 30,
+                    weight: 1.0,
+                },
             ],
             wms: WmsConfig::default(),
             faults: FaultConfig::default(),
@@ -203,7 +225,11 @@ impl GridConfig {
                 return Err(format!("stale_prob must be in [0,1], got {stale_prob}"));
             }
         }
-        if let LatencyMode::Resample { latencies, threshold_s } = &self.latency {
+        if let LatencyMode::Resample {
+            latencies,
+            threshold_s,
+        } = &self.latency
+        {
             if latencies.is_empty() {
                 return Err("resample mode requires at least one recorded latency".into());
             }
@@ -221,7 +247,11 @@ impl GridConfig {
             if self.sites.iter().any(|s| s.slots == 0) {
                 return Err("sites must have at least one slot".into());
             }
-            if self.sites.iter().any(|s| !(s.weight.is_finite() && s.weight > 0.0)) {
+            if self
+                .sites
+                .iter()
+                .any(|s| !(s.weight.is_finite() && s.weight > 0.0))
+            {
                 return Err("site weights must be positive".into());
             }
         }
@@ -302,14 +332,5 @@ mod tests {
         let mut c = GridConfig::pipeline_default();
         c.wms.matchmaking_mean_s = 0.0;
         assert!(c.validate().is_err());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let c = GridConfig::pipeline_default();
-        let s = serde_json::to_string(&c).unwrap();
-        let back: GridConfig = serde_json::from_str(&s).unwrap();
-        assert!(back.validate().is_ok());
-        assert_eq!(back.sites.len(), c.sites.len());
     }
 }

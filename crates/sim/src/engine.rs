@@ -175,7 +175,8 @@ impl GridSimulation {
     /// Submits a client job that will hold its slot for `exec` once started.
     pub fn submit_with_exec(&mut self, exec: SimDuration) -> JobId {
         let id = JobId(self.jobs.len() as u64);
-        self.jobs.push(JobRecord::new(id, JobOrigin::Client, self.now));
+        self.jobs
+            .push(JobRecord::new(id, JobOrigin::Client, self.now));
         self.exec_times.push(exec);
         self.stats.client_submitted += 1;
         self.route_submission(id);
@@ -197,7 +198,8 @@ impl GridSimulation {
         }
         if self.cfg.wms.cancellation_delay_mean_s > 0.0 {
             let d = self.exp_delay(self.cfg.wms.cancellation_delay_mean_s);
-            self.queue.schedule(self.now.after(d), EventKind::CancelApply(id));
+            self.queue
+                .schedule(self.now.after(d), EventKind::CancelApply(id));
         } else {
             self.apply_cancel(id);
         }
@@ -217,7 +219,8 @@ impl GridSimulation {
     /// Arms a timer; a [`Notification::Timer`] with `token` fires after
     /// `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.queue.schedule(self.now.after(delay), EventKind::Timer { token });
+        self.queue
+            .schedule(self.now.after(delay), EventKind::Timer { token });
     }
 
     /// Runs the event loop, surfacing notifications to `ctrl`, until the
@@ -227,7 +230,9 @@ impl GridSimulation {
         self.drain_notifications(ctrl);
         let horizon = SimTime::ZERO.after(self.cfg.horizon);
         while !ctrl.done() {
-            let Some((t, kind)) = self.queue.pop() else { break };
+            let Some((t, kind)) = self.queue.pop() else {
+                break;
+            };
             if t > horizon {
                 break;
             }
@@ -270,7 +275,10 @@ impl GridSimulation {
                     );
                 }
             }
-            LatencyMode::Resample { latencies, threshold_s } => {
+            LatencyMode::Resample {
+                latencies,
+                threshold_s,
+            } => {
                 let idx = self.rng.gen_range(0..latencies.len());
                 let raw = latencies[idx];
                 if raw >= *threshold_s {
@@ -290,7 +298,8 @@ impl GridSimulation {
                     return;
                 }
                 let d = self.exp_delay(self.cfg.wms.ui_to_wms_mean_s);
-                self.queue.schedule(self.now.after(d), EventKind::ArriveAtWms(id));
+                self.queue
+                    .schedule(self.now.after(d), EventKind::ArriveAtWms(id));
             }
         }
     }
@@ -306,7 +315,10 @@ impl GridSimulation {
             EventKind::CancelApply(id) => self.apply_cancel(id),
             EventKind::BackgroundArrival { site } => self.on_background_arrival(site),
             EventKind::Timer { token } => {
-                self.notifications.push_back(Notification::Timer { token, at: self.now });
+                self.notifications.push_back(Notification::Timer {
+                    token,
+                    at: self.now,
+                });
             }
         }
     }
@@ -321,7 +333,8 @@ impl GridSimulation {
             self.queue.schedule(self.now.after(d), EventKind::Fail(id));
         } else {
             let d = self.exp_delay(self.cfg.wms.matchmaking_mean_s);
-            self.queue.schedule(self.now.after(d), EventKind::Dispatch(id));
+            self.queue
+                .schedule(self.now.after(d), EventKind::Dispatch(id));
         }
     }
 
@@ -364,14 +377,17 @@ impl GridSimulation {
         self.jobs[id.0 as usize].state = JobState::Matched;
         self.jobs[id.0 as usize].site = Some(site);
         let d = self.exp_delay(self.cfg.wms.dispatch_mean_s);
-        self.queue.schedule(self.now.after(d), EventKind::EnterQueue(id));
+        self.queue
+            .schedule(self.now.after(d), EventKind::EnterQueue(id));
     }
 
     fn on_enter_queue(&mut self, id: JobId) {
         if !self.jobs[id.0 as usize].state.is_pending() {
             return;
         }
-        let site = self.jobs[id.0 as usize].site.expect("matched before queued");
+        let site = self.jobs[id.0 as usize]
+            .site
+            .expect("matched before queued");
         self.jobs[id.0 as usize].state = JobState::Queued;
         self.sites[site].queue.push_back(id);
         self.try_start_jobs(site);
@@ -380,7 +396,9 @@ impl GridSimulation {
     /// Assigns free slots to queued live jobs, skipping cancelled residue.
     fn try_start_jobs(&mut self, site: usize) {
         while self.sites[site].running < self.cfg.sites[site].slots {
-            let Some(id) = self.sites[site].queue.pop_front() else { break };
+            let Some(id) = self.sites[site].queue.pop_front() else {
+                break;
+            };
             if self.jobs[id.0 as usize].state != JobState::Queued {
                 continue; // cancelled while waiting
             }
@@ -394,7 +412,8 @@ impl GridSimulation {
         rec.state = JobState::Running;
         rec.started_at = Some(self.now);
         let exec = self.exec_times[id.0 as usize];
-        self.queue.schedule(self.now.after(exec), EventKind::Finish(id));
+        self.queue
+            .schedule(self.now.after(exec), EventKind::Finish(id));
         match rec.origin {
             JobOrigin::Client => {
                 self.stats.client_started += 1;
@@ -440,7 +459,9 @@ impl GridSimulation {
     }
 
     fn schedule_next_background_arrival(&mut self) {
-        let Some(bg) = self.cfg.background else { return };
+        let Some(bg) = self.cfg.background else {
+            return;
+        };
         let d = self.exp_delay(1.0 / bg.arrival_rate_per_s);
         // target site chosen at arrival time; store a placeholder here
         let site = self.pick_background_site();
@@ -464,7 +485,9 @@ impl GridSimulation {
     }
 
     fn on_background_arrival(&mut self, site: usize) {
-        let Some(bg) = self.cfg.background else { return };
+        let Some(bg) = self.cfg.background else {
+            return;
+        };
         if self.cfg.sites.is_empty() {
             return; // background load is meaningless without topology
         }
@@ -508,7 +531,12 @@ mod tests {
 
     impl CollectStarts {
         fn new(n: usize) -> Self {
-            CollectStarts { n, latencies: Vec::new(), submitted: Vec::new(), deadline_tokens: 0 }
+            CollectStarts {
+                n,
+                latencies: Vec::new(),
+                submitted: Vec::new(),
+                deadline_tokens: 0,
+            }
         }
     }
 
@@ -561,8 +589,7 @@ mod tests {
     #[test]
     fn determinism_same_seed() {
         let run = |seed: u64| {
-            let mut sim =
-                GridSimulation::new(GridConfig::oracle(oracle_model(0.1)), seed).unwrap();
+            let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.1)), seed).unwrap();
             let mut ctrl = CollectStarts::new(500);
             sim.run_controller(&mut ctrl);
             ctrl.latencies
@@ -596,7 +623,10 @@ mod tests {
             }
         }
         let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.0)), 3).unwrap();
-        let mut ctrl = CancelImmediately { started: false, finished: false };
+        let mut ctrl = CancelImmediately {
+            started: false,
+            finished: false,
+        };
         sim.run_controller(&mut ctrl);
         assert!(!ctrl.started, "cancelled job must never start");
         assert_eq!(sim.stats().client_cancelled, 1);
@@ -631,7 +661,10 @@ mod tests {
         let mut cfg = GridConfig::oracle(oracle_model(0.0));
         cfg.wms.cancellation_delay_mean_s = 50_000.0; // far beyond any latency
         let mut sim = GridSimulation::new(cfg, 21).unwrap();
-        let mut ctrl = CancelThenWatch { started: false, timer_done: false };
+        let mut ctrl = CancelThenWatch {
+            started: false,
+            timer_done: false,
+        };
         sim.run_controller(&mut ctrl);
         assert!(ctrl.started, "job should start before the cancel lands");
         assert_eq!(sim.stats().client_cancelled, 0);
@@ -691,7 +724,11 @@ mod tests {
             }
         }
         let mut sim = GridSimulation::new(cfg, 5).unwrap();
-        let mut ctrl = CountTerminal { failed: 0, started: 0, timer: false };
+        let mut ctrl = CountTerminal {
+            failed: 0,
+            started: 0,
+            timer: false,
+        };
         sim.run_controller(&mut ctrl);
         let stats = sim.stats();
         assert_eq!(stats.client_submitted, 400);

@@ -11,12 +11,9 @@
 //! ```
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Opaque job identifier, unique within one simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
 impl std::fmt::Display for JobId {
@@ -26,7 +23,7 @@ impl std::fmt::Display for JobId {
 }
 
 /// Lifecycle state of a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
     /// Submitted from the UI, travelling to the WMS.
     Submitted,
@@ -69,7 +66,7 @@ impl JobState {
 }
 
 /// Who submitted a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobOrigin {
     /// A client job submitted through the [`crate::engine::GridSimulation`]
     /// controller API (strategies, probes).
@@ -79,7 +76,7 @@ pub enum JobOrigin {
 }
 
 /// Full audit record of one job.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct JobRecord {
     /// The job's identifier.
     pub id: JobId,

@@ -37,12 +37,7 @@ impl ProbeHarness {
     /// Creates a harness that collects `target` probe records with
     /// `in_flight` probes maintained in the system and the given censoring
     /// threshold in seconds.
-    pub fn new(
-        name: impl Into<String>,
-        target: usize,
-        in_flight: usize,
-        threshold_s: f64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, target: usize, in_flight: usize, threshold_s: f64) -> Self {
         assert!(target > 0, "need a positive record target");
         assert!(in_flight > 0, "need at least one probe in flight");
         assert!(threshold_s > 0.0, "threshold must be positive");
@@ -89,7 +84,11 @@ impl ProbeHarness {
 
     fn record(&mut self, sim: &GridSimulation, id: JobId, latency_s: f64, status: ProbeStatus) {
         let submitted_at = sim.job(id).submitted_at.as_secs();
-        self.records.push(ProbeRecord { submitted_at, latency_s, status });
+        self.records.push(ProbeRecord {
+            submitted_at,
+            latency_s,
+            status,
+        });
     }
 }
 
@@ -158,8 +157,16 @@ mod tests {
     #[test]
     fn measured_statistics_match_oracle_model() {
         let t = run_oracle(0.15, 3000, 2);
-        assert!((t.outlier_ratio() - 0.15).abs() < 0.03, "rho {}", t.outlier_ratio());
-        assert!((t.body_mean() - 500.0).abs() < 50.0, "mean {}", t.body_mean());
+        assert!(
+            (t.outlier_ratio() - 0.15).abs() < 0.03,
+            "rho {}",
+            t.outlier_ratio()
+        );
+        assert!(
+            (t.body_mean() - 500.0).abs() < 50.0,
+            "mean {}",
+            t.body_mean()
+        );
     }
 
     #[test]
@@ -197,7 +204,11 @@ mod tests {
         assert_eq!(t.len(), 300);
         // silent losses time out, transient failures are counted too:
         // overall fault ratio ≈ 0.2 + 0.8·0.1 = 0.28
-        assert!((t.outlier_ratio() - 0.28).abs() < 0.08, "rho {}", t.outlier_ratio());
+        assert!(
+            (t.outlier_ratio() - 0.28).abs() < 0.08,
+            "rho {}",
+            t.outlier_ratio()
+        );
         // hop latencies keep body mean near 90 s
         assert!(t.body_mean() > 30.0 && t.body_mean() < 300.0);
     }

@@ -1,12 +1,21 @@
 //! Property-based tests for the discrete-event engine: conservation laws,
 //! cancellation semantics and determinism under randomized configurations.
+//!
+//! The crates.io `proptest` harness is unavailable offline, so these use a
+//! seeded hand-rolled generator: every `#[test]` draws `CASES` random
+//! configurations from a fixed stream, making failures exactly
+//! reproducible (the failing case index is part of the assertion message).
 
 use gridstrat_sim::{
     BackgroundLoadConfig, Controller, FaultConfig, GridConfig, GridSimulation, JobState,
     Notification, ProbeHarness, SimDuration,
 };
+use gridstrat_stats::rng::derived_rng;
 use gridstrat_workload::WeekModel;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const CASES: usize = 48;
 
 /// A controller that fires a fixed batch and watches until a deadline.
 struct Batch {
@@ -36,106 +45,140 @@ impl Controller for Batch {
     }
 }
 
-fn arb_faults() -> impl Strategy<Value = FaultConfig> {
-    (0.0f64..0.6, 0.0f64..0.5, 10.0f64..500.0).prop_map(|(loss, fail, delay)| FaultConfig {
-        p_silent_loss: loss,
-        p_transient_failure: fail,
-        failure_delay_mean_s: delay,
-    })
+fn arb_faults(rng: &mut StdRng) -> FaultConfig {
+    FaultConfig {
+        p_silent_loss: rng.gen_range(0.0..0.6f64),
+        p_transient_failure: rng.gen_range(0.0..0.5f64),
+        failure_delay_mean_s: rng.gen_range(10.0..500.0f64),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_job_reaches_exactly_one_account(
-        seed in 0u64..1000,
-        n in 1usize..120,
-        faults in arb_faults(),
-    ) {
+#[test]
+fn every_job_reaches_exactly_one_account() {
+    let mut rng = derived_rng(0x51D, 1);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0..1000u64);
+        let n = rng.gen_range(1..120usize);
         let mut cfg = GridConfig::pipeline_default();
         cfg.background = None;
-        cfg.faults = faults;
+        cfg.faults = arb_faults(&mut rng);
         let mut sim = GridSimulation::new(cfg, seed).unwrap();
-        let mut ctrl = Batch { n, started: 0, failed: 0, deadline: false };
+        let mut ctrl = Batch {
+            n,
+            started: 0,
+            failed: 0,
+            deadline: false,
+        };
         sim.run_controller(&mut ctrl);
         let stats = sim.stats();
-        prop_assert_eq!(stats.client_submitted, n as u64);
-        prop_assert_eq!(
+        assert_eq!(stats.client_submitted, n as u64, "case {case}");
+        assert_eq!(
             stats.client_started + stats.client_failed + stats.client_stuck,
-            n as u64
+            n as u64,
+            "case {case}: jobs leaked between accounts"
         );
-        prop_assert_eq!(stats.client_started, ctrl.started as u64);
-        prop_assert_eq!(stats.client_failed, ctrl.failed as u64);
+        assert_eq!(stats.client_started, ctrl.started as u64, "case {case}");
+        assert_eq!(stats.client_failed, ctrl.failed as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn started_jobs_have_consistent_records(seed in 0u64..500, n in 1usize..60) {
+#[test]
+fn started_jobs_have_consistent_records() {
+    let mut rng = derived_rng(0x51D, 2);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0..500u64);
+        let n = rng.gen_range(1..60usize);
         let model = WeekModel::calibrate("p", 400.0, 300.0, 0.1, 50.0, 10_000.0).unwrap();
         let mut sim = GridSimulation::new(GridConfig::oracle(model), seed).unwrap();
-        let mut ctrl = Batch { n, started: 0, failed: 0, deadline: false };
+        let mut ctrl = Batch {
+            n,
+            started: 0,
+            failed: 0,
+            deadline: false,
+        };
         sim.run_controller(&mut ctrl);
         for rec in sim.jobs() {
             match rec.state {
                 JobState::Running | JobState::Finished => {
                     let started = rec.started_at.expect("running jobs have a start");
-                    prop_assert!(started >= rec.submitted_at);
+                    assert!(started >= rec.submitted_at, "case {case}");
                     // oracle latency respects the 50 s shift
-                    prop_assert!(started.since(rec.submitted_at).as_secs() >= 50.0 - 1e-6);
+                    assert!(
+                        started.since(rec.submitted_at).as_secs() >= 50.0 - 1e-6,
+                        "case {case}"
+                    );
                 }
-                JobState::Stuck => prop_assert!(rec.started_at.is_none()),
+                JobState::Stuck => assert!(rec.started_at.is_none(), "case {case}"),
                 _ => {}
             }
         }
     }
+}
 
-    #[test]
-    fn identical_seeds_identical_histories(seed in 0u64..500, n in 1usize..50) {
+#[test]
+fn identical_seeds_identical_histories() {
+    let mut rng = derived_rng(0x51D, 3);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0..500u64);
+        let n = rng.gen_range(1..50usize);
         let run = |seed: u64| {
             let model = WeekModel::calibrate("p", 400.0, 300.0, 0.2, 50.0, 10_000.0).unwrap();
             let mut sim = GridSimulation::new(GridConfig::oracle(model), seed).unwrap();
-            let mut ctrl = Batch { n, started: 0, failed: 0, deadline: false };
+            let mut ctrl = Batch {
+                n,
+                started: 0,
+                failed: 0,
+                deadline: false,
+            };
             sim.run_controller(&mut ctrl);
             sim.jobs()
                 .iter()
                 .map(|r| (r.state, r.started_at, r.terminated_at))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(
+            run(seed),
+            run(seed),
+            "case {case}: history not reproducible"
+        );
     }
+}
 
-    #[test]
-    fn probe_harness_always_hits_target(
-        seed in 0u64..300,
-        target in 1usize..200,
-        in_flight in 1usize..40,
-        rho in 0.0f64..0.6,
-    ) {
+#[test]
+fn probe_harness_always_hits_target() {
+    let mut rng = derived_rng(0x51D, 4);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0..300u64);
+        let target = rng.gen_range(1..200usize);
+        let in_flight = rng.gen_range(1..40usize);
+        let rho = rng.gen_range(0.0..0.6f64);
         let model = WeekModel::calibrate("p", 400.0, 300.0, rho, 50.0, 10_000.0).unwrap();
         let mut sim = GridSimulation::new(GridConfig::oracle(model), seed).unwrap();
         let mut harness = ProbeHarness::new("prop", target, in_flight, 10_000.0);
         sim.run_controller(&mut harness);
         let trace = harness.into_trace();
-        prop_assert_eq!(trace.len(), target);
+        assert_eq!(trace.len(), target, "case {case}");
         // submission order, consistent statuses
         for w in trace.records.windows(2) {
-            prop_assert!(w[0].submitted_at <= w[1].submitted_at);
+            assert!(w[0].submitted_at <= w[1].submitted_at, "case {case}");
         }
         for r in &trace.records {
             if r.is_outlier() {
-                prop_assert_eq!(r.latency_s, 10_000.0);
+                assert_eq!(r.latency_s, 10_000.0, "case {case}");
             } else {
-                prop_assert!(r.latency_s < 10_000.0);
+                assert!(r.latency_s < 10_000.0, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn background_load_never_blocks_termination(
-        seed in 0u64..200,
-        rate in 0.001f64..0.3,
-        exec in 100.0f64..3_000.0,
-    ) {
+#[test]
+fn background_load_never_blocks_termination() {
+    let mut rng = derived_rng(0x51D, 5);
+    for case in 0..CASES.min(24) {
+        let seed = rng.gen_range(0..200u64);
+        let rate = rng.gen_range(0.001..0.3f64);
+        let exec = rng.gen_range(100.0..3_000.0f64);
         let mut cfg = GridConfig::pipeline_default();
         cfg.background = Some(BackgroundLoadConfig {
             arrival_rate_per_s: rate,
@@ -144,44 +187,57 @@ proptest! {
         });
         cfg.horizon = SimDuration::from_secs(50_000.0);
         let mut sim = GridSimulation::new(cfg, seed).unwrap();
-        let mut ctrl = Batch { n: 5, started: 0, failed: 0, deadline: false };
+        let mut ctrl = Batch {
+            n: 5,
+            started: 0,
+            failed: 0,
+            deadline: false,
+        };
         sim.run_controller(&mut ctrl);
         // the run always ends (deadline timer or horizon), never hangs
-        prop_assert!(sim.now().as_secs() <= 60_000.0 + 1e-6);
+        assert!(sim.now().as_secs() <= 60_000.0 + 1e-6, "case {case}");
+    }
+}
+
+#[test]
+fn cancel_is_idempotent_and_final() {
+    struct CancelTwice {
+        outcome: Option<(bool, bool)>,
+        done: bool,
+    }
+    impl Controller for CancelTwice {
+        fn start(&mut self, sim: &mut GridSimulation) {
+            let id = sim.submit();
+            let first = sim.cancel(id);
+            let second = sim.cancel(id);
+            self.outcome = Some((first, second));
+            sim.set_timer(SimDuration::from_secs(20_000.0), 0);
+        }
+        fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
+            match ev {
+                Notification::JobStarted { .. } => {
+                    panic!("cancelled job must not start under zero cancel delay")
+                }
+                Notification::Timer { .. } => self.done = true,
+                _ => {}
+            }
+        }
+        fn done(&self) -> bool {
+            self.done
+        }
     }
 
-    #[test]
-    fn cancel_is_idempotent_and_final(seed in 0u64..300) {
-        struct CancelTwice {
-            outcome: Option<(bool, bool)>,
-            done: bool,
-        }
-        impl Controller for CancelTwice {
-            fn start(&mut self, sim: &mut GridSimulation) {
-                let id = sim.submit();
-                let first = sim.cancel(id);
-                let second = sim.cancel(id);
-                self.outcome = Some((first, second));
-                sim.set_timer(SimDuration::from_secs(20_000.0), 0);
-            }
-            fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
-                match ev {
-                    Notification::JobStarted { .. } => {
-                        panic!("cancelled job must not start under zero cancel delay")
-                    }
-                    Notification::Timer { .. } => self.done = true,
-                    _ => {}
-                }
-            }
-            fn done(&self) -> bool {
-                self.done
-            }
-        }
+    let mut rng = derived_rng(0x51D, 6);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0..300u64);
         let model = WeekModel::calibrate("p", 400.0, 300.0, 0.0, 50.0, 10_000.0).unwrap();
         let mut sim = GridSimulation::new(GridConfig::oracle(model), seed).unwrap();
-        let mut ctrl = CancelTwice { outcome: None, done: false };
+        let mut ctrl = CancelTwice {
+            outcome: None,
+            done: false,
+        };
         sim.run_controller(&mut ctrl);
-        prop_assert_eq!(ctrl.outcome, Some((true, false)));
-        prop_assert_eq!(sim.stats().client_cancelled, 1);
+        assert_eq!(ctrl.outcome, Some((true, false)), "case {case}");
+        assert_eq!(sim.stats().client_cancelled, 1, "case {case}");
     }
 }

@@ -139,7 +139,13 @@ impl Ecdf {
             prefix_b.push(b);
             lo = x;
         }
-        Ecdf { xs, n_total, threshold, prefix_a, prefix_b }
+        Ecdf {
+            xs,
+            n_total,
+            threshold,
+            prefix_a,
+            prefix_b,
+        }
     }
 
     /// Total number of submissions (body + outliers).
@@ -404,8 +410,14 @@ mod tests {
             let want_c = prod.integral(0.0, l);
             let want_d = prod.moment_integral(0.0, l);
             let (c0, d0) = e.survival_product_integrals(shift, l);
-            assert!((c0 - want_c).abs() < 1e-10, "C0 mismatch shift={shift} l={l}");
-            assert!((d0 - want_d).abs() < 1e-10, "D0 mismatch shift={shift} l={l}");
+            assert!(
+                (c0 - want_c).abs() < 1e-10,
+                "C0 mismatch shift={shift} l={l}"
+            );
+            assert!(
+                (d0 - want_d).abs() < 1e-10,
+                "D0 mismatch shift={shift} l={l}"
+            );
         }
     }
 

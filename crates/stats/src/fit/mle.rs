@@ -18,7 +18,11 @@ pub fn fit_lognormal(samples: &[f64]) -> Result<LogNormal, String> {
     validate_positive(samples)?;
     let n = samples.len() as f64;
     let mu = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
-    let s2 = samples.iter().map(|x| (x.ln() - mu) * (x.ln() - mu)).sum::<f64>() / n;
+    let s2 = samples
+        .iter()
+        .map(|x| (x.ln() - mu) * (x.ln() - mu))
+        .sum::<f64>()
+        / n;
     if s2 <= 0.0 {
         return Err("degenerate sample: zero log-variance".to_string());
     }

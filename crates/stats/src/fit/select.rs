@@ -112,10 +112,7 @@ pub struct FitReport {
 }
 
 fn log_likelihood<D: Distribution>(samples: &[f64], model: &D) -> f64 {
-    samples
-        .iter()
-        .map(|&x| model.pdf(x).max(1e-300).ln())
-        .sum()
+    samples.iter().map(|&x| model.pdf(x).max(1e-300).ln()).sum()
 }
 
 fn report(samples: &[f64], model: BodyModel) -> FitReport {

@@ -92,7 +92,10 @@ impl HazardProfile {
                 at_risk,
             });
         }
-        HazardProfile { bins, outlier_ratio: ecdf.outlier_ratio() }
+        HazardProfile {
+            bins,
+            outlier_ratio: ecdf.outlier_ratio(),
+        }
     }
 
     /// The estimated bins.
@@ -115,10 +118,8 @@ impl HazardProfile {
             return HazardTrend::Flat;
         }
         let third = (n / 3).max(1);
-        let head: f64 =
-            self.bins[..third].iter().map(|b| b.rate).sum::<f64>() / third as f64;
-        let tail: f64 = self.bins[n - third..].iter().map(|b| b.rate).sum::<f64>()
-            / third as f64;
+        let head: f64 = self.bins[..third].iter().map(|b| b.rate).sum::<f64>() / third as f64;
+        let tail: f64 = self.bins[n - third..].iter().map(|b| b.rate).sum::<f64>() / third as f64;
         let rel = (head - tail) / head.max(f64::MIN_POSITIVE);
         if rel > tolerance {
             HazardTrend::Decreasing

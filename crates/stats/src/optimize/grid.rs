@@ -41,7 +41,10 @@ impl GridSpec {
 
 /// Exhaustive scan over the grid; returns the best point.
 pub fn grid_min_1d(f: impl Fn(f64) -> f64, grid: GridSpec) -> Min1d {
-    let mut best = Min1d { x: grid.lo, value: f64::INFINITY };
+    let mut best = Min1d {
+        x: grid.lo,
+        value: f64::INFINITY,
+    };
     for x in grid.points() {
         let v = f(x);
         if v < best.value {

@@ -71,9 +71,7 @@ impl StepFn {
         if values.len() != breaks.len() + 1 {
             return Err(StepFnError::LengthMismatch);
         }
-        if breaks.iter().any(|b| !b.is_finite())
-            || breaks.windows(2).any(|w| w[0] >= w[1])
-        {
+        if breaks.iter().any(|b| !b.is_finite()) || breaks.windows(2).any(|w| w[0] >= w[1]) {
             return Err(StepFnError::InvalidBreaks);
         }
         Ok(StepFn { breaks, values })
@@ -81,7 +79,10 @@ impl StepFn {
 
     /// The constant function `c`.
     pub fn constant(c: f64) -> Self {
-        StepFn { breaks: Vec::new(), values: vec![c] }
+        StepFn {
+            breaks: Vec::new(),
+            values: vec![c],
+        }
     }
 
     /// Breakpoints (strictly increasing).

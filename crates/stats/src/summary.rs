@@ -3,13 +3,11 @@
 //! Used by the simulator's metric collectors and the Monte-Carlo executors,
 //! where keeping every sample would be wasteful.
 
-use serde::{Deserialize, Serialize};
-
 /// Online mean/variance accumulator (Welford's algorithm) with min/max.
 ///
 /// Numerically stable for long streams; merging two summaries is exact
 /// (parallel-safe reduction for rayon fold/reduce patterns).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -21,7 +19,13 @@ pub struct Summary {
 impl Summary {
     /// Empty summary.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -117,7 +121,7 @@ impl Summary {
 }
 
 /// Fixed-width histogram on `[lo, hi)` with overflow/underflow buckets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -131,7 +135,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "invalid histogram range");
         assert!(bins >= 1, "need at least one bin");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Adds an observation.

@@ -1,190 +1,305 @@
 //! Property-based tests for the numerics substrate: the invariants every
 //! downstream strategy computation silently relies on.
+//!
+//! The crates.io `proptest` harness is unavailable offline, so these use a
+//! seeded hand-rolled generator: every `#[test]` draws `CASES` random
+//! inputs from a fixed stream, making failures exactly reproducible (the
+//! failing case index is part of the assertion message).
 
 use gridstrat_stats::dist::{normal_cdf, Distribution};
 use gridstrat_stats::optimize::{golden_section, grid_min_1d, grid_min_2d, GridSpec};
+use gridstrat_stats::rng::derived_rng;
 use gridstrat_stats::{Ecdf, Exponential, LogNormal, Pareto, StepFn, Summary, Weibull};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
 
-fn sorted_breaks() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.001f64..1000.0, 1..12).prop_map(|mut v| {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        v.dedup();
-        v
-    })
+const CASES: usize = 128;
+
+fn sorted_breaks(rng: &mut StdRng) -> Vec<f64> {
+    let n = rng.gen_range(1..12usize);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(0.001..1000.0f64)).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.dedup();
+    v
 }
 
-fn stepfn() -> impl Strategy<Value = StepFn> {
-    sorted_breaks().prop_flat_map(|breaks| {
-        let n = breaks.len() + 1;
-        proptest::collection::vec(-5.0f64..5.0, n..=n)
-            .prop_map(move |values| StepFn::new(breaks.clone(), values).unwrap())
-    })
+fn stepfn(rng: &mut StdRng) -> StepFn {
+    let breaks = sorted_breaks(rng);
+    let values: Vec<f64> = (0..breaks.len() + 1)
+        .map(|_| rng.gen_range(-5.0..5.0f64))
+        .collect();
+    StepFn::new(breaks, values).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn samples(rng: &mut StdRng, lo: f64, hi: f64, min_n: usize, max_n: usize) -> Vec<f64> {
+    let n = rng.gen_range(min_n..max_n);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
-    #[test]
-    fn stepfn_integral_is_additive(f in stepfn(), a in -10.0f64..1100.0, b in -10.0f64..1100.0, c in -10.0f64..1100.0) {
+#[test]
+fn stepfn_integral_is_additive() {
+    let mut rng = derived_rng(0x57A7, 1);
+    for case in 0..CASES {
+        let f = stepfn(&mut rng);
+        let a = rng.gen_range(-10.0..1100.0f64);
+        let b = rng.gen_range(-10.0..1100.0f64);
+        let c = rng.gen_range(-10.0..1100.0f64);
         let whole = f.integral(a, c);
         let split = f.integral(a, b) + f.integral(b, c);
-        prop_assert!((whole - split).abs() < 1e-8 * (1.0 + whole.abs()));
+        assert!(
+            (whole - split).abs() < 1e-8 * (1.0 + whole.abs()),
+            "case {case}: {whole} vs {split}"
+        );
     }
+}
 
-    #[test]
-    fn stepfn_shift_preserves_integrals(f in stepfn(), s in -200.0f64..200.0) {
+#[test]
+fn stepfn_shift_preserves_integrals() {
+    let mut rng = derived_rng(0x57A7, 2);
+    for case in 0..CASES {
+        let f = stepfn(&mut rng);
+        let s = rng.gen_range(-200.0..200.0f64);
         let g = f.shift(s);
         let i_f = f.integral(0.0, 1000.0);
         let i_g = g.integral(s, 1000.0 + s);
-        prop_assert!((i_f - i_g).abs() < 1e-7 * (1.0 + i_f.abs()));
+        assert!(
+            (i_f - i_g).abs() < 1e-7 * (1.0 + i_f.abs()),
+            "case {case}: {i_f} vs {i_g}"
+        );
     }
+}
 
-    #[test]
-    fn stepfn_product_pointwise(f in stepfn(), g in stepfn(), xs in proptest::collection::vec(-10.0f64..1100.0, 8)) {
+#[test]
+fn stepfn_product_pointwise() {
+    let mut rng = derived_rng(0x57A7, 3);
+    for case in 0..CASES {
+        let f = stepfn(&mut rng);
+        let g = stepfn(&mut rng);
         let p = f.product(&g);
-        for x in xs {
-            prop_assert!((p.eval(x) - f.eval(x) * g.eval(x)).abs() < 1e-9);
+        for _ in 0..8 {
+            let x = rng.gen_range(-10.0..1100.0f64);
+            assert!(
+                (p.eval(x) - f.eval(x) * g.eval(x)).abs() < 1e-9,
+                "case {case} at x = {x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn stepfn_compact_is_semantically_identity(f in stepfn(), xs in proptest::collection::vec(-10.0f64..1100.0, 8)) {
+#[test]
+fn stepfn_compact_is_semantically_identity() {
+    let mut rng = derived_rng(0x57A7, 4);
+    for case in 0..CASES {
+        let f = stepfn(&mut rng);
         let c = f.compact();
-        prop_assert!(c.len() <= f.len());
-        for x in xs {
-            prop_assert_eq!(c.eval(x), f.eval(x));
+        assert!(c.len() <= f.len(), "case {case}");
+        for _ in 0..8 {
+            let x = rng.gen_range(-10.0..1100.0f64);
+            assert_eq!(c.eval(x), f.eval(x), "case {case} at x = {x}");
         }
     }
+}
 
-    #[test]
-    fn ecdf_is_monotone_and_bounded(
-        samples in proptest::collection::vec(0.1f64..20_000.0, 2..60),
-        ts in proptest::collection::vec(0.0f64..25_000.0, 6),
-    ) {
-        prop_assume!(samples.iter().any(|&x| x < 10_000.0));
-        let e = Ecdf::from_samples(&samples, 10_000.0).unwrap();
-        let mut sorted_ts = ts.clone();
-        sorted_ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+#[test]
+fn ecdf_is_monotone_and_bounded() {
+    let mut rng = derived_rng(0x57A7, 5);
+    for case in 0..CASES {
+        let xs = samples(&mut rng, 0.1, 20_000.0, 2, 60);
+        if !xs.iter().any(|&x| x < 10_000.0) {
+            continue;
+        }
+        let e = Ecdf::from_samples(&xs, 10_000.0).unwrap();
+        let mut ts: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..25_000.0f64)).collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut prev = 0.0;
-        for t in sorted_ts {
+        for t in ts {
             let v = e.value(t);
-            prop_assert!((0.0..=1.0).contains(&v));
-            prop_assert!(v + 1e-12 >= prev);
-            prop_assert!(v <= 1.0 - e.outlier_ratio() + 1e-12);
+            assert!((0.0..=1.0).contains(&v), "case {case}");
+            assert!(v + 1e-12 >= prev, "case {case}");
+            assert!(v <= 1.0 - e.outlier_ratio() + 1e-12, "case {case}");
             prev = v;
         }
     }
+}
 
-    #[test]
-    fn ecdf_survival_integral_matches_stepfn(
-        samples in proptest::collection::vec(0.1f64..20_000.0, 2..40),
-        t in 0.0f64..12_000.0,
-    ) {
-        prop_assume!(samples.iter().any(|&x| x < 10_000.0));
-        let e = Ecdf::from_samples(&samples, 10_000.0).unwrap();
+#[test]
+fn ecdf_survival_integral_matches_stepfn() {
+    let mut rng = derived_rng(0x57A7, 6);
+    for case in 0..CASES {
+        let xs = samples(&mut rng, 0.1, 20_000.0, 2, 40);
+        if !xs.iter().any(|&x| x < 10_000.0) {
+            continue;
+        }
+        let t = rng.gen_range(0.0..12_000.0f64);
+        let e = Ecdf::from_samples(&xs, 10_000.0).unwrap();
         let surv = e.to_stepfn().map(|v| 1.0 - v);
-        prop_assert!((e.survival_integral(t) - surv.integral(0.0, t)).abs() < 1e-6);
-        prop_assert!((e.moment_survival_integral(t) - surv.moment_integral(0.0, t)).abs() < 1e-3);
+        assert!(
+            (e.survival_integral(t) - surv.integral(0.0, t)).abs() < 1e-6,
+            "case {case}"
+        );
+        assert!(
+            (e.moment_survival_integral(t) - surv.moment_integral(0.0, t)).abs() < 1e-3,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn ecdf_product_integrals_match_stepfn(
-        samples in proptest::collection::vec(0.1f64..9_000.0, 2..30),
-        shift in 0.0f64..2_000.0,
-        l in 0.0f64..3_000.0,
-    ) {
-        let e = Ecdf::from_samples(&samples, 10_000.0).unwrap();
+#[test]
+fn ecdf_product_integrals_match_stepfn() {
+    let mut rng = derived_rng(0x57A7, 7);
+    for case in 0..CASES {
+        let xs = samples(&mut rng, 0.1, 9_000.0, 2, 30);
+        let shift = rng.gen_range(0.0..2_000.0f64);
+        let l = rng.gen_range(0.0..3_000.0f64);
+        let e = Ecdf::from_samples(&xs, 10_000.0).unwrap();
         let surv = e.to_stepfn().map(|v| 1.0 - v);
         let prod = surv.shift(-shift).product(&surv);
         let (c, d) = e.survival_product_integrals(shift, l);
-        prop_assert!((c - prod.integral(0.0, l)).abs() < 1e-6);
-        prop_assert!((d - prod.moment_integral(0.0, l)).abs() < 1e-2);
+        assert!((c - prod.integral(0.0, l)).abs() < 1e-6, "case {case}");
+        assert!(
+            (d - prod.moment_integral(0.0, l)).abs() < 1e-2,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn distributions_cdf_quantile_inverse(
-        mu in 3.0f64..7.0, sigma in 0.2f64..2.0, p in 0.001f64..0.999,
-    ) {
+#[test]
+fn distributions_cdf_quantile_inverse() {
+    let mut rng = derived_rng(0x57A7, 8);
+    for case in 0..CASES {
+        let mu = rng.gen_range(3.0..7.0f64);
+        let sigma = rng.gen_range(0.2..2.0f64);
+        let p = rng.gen_range(0.001..0.999f64);
         let d = LogNormal::new(mu, sigma).unwrap();
         let q = d.quantile(p);
-        prop_assert!((d.cdf(q) - p).abs() < 1e-6);
+        assert!((d.cdf(q) - p).abs() < 1e-6, "case {case}: p = {p}");
     }
+}
 
-    #[test]
-    fn weibull_cdf_monotone(shape in 0.3f64..3.0, scale in 10.0f64..2_000.0, a in 0.0f64..5_000.0, b in 0.0f64..5_000.0) {
-        let d = Weibull::new(shape, scale).unwrap();
+#[test]
+fn weibull_cdf_monotone() {
+    let mut rng = derived_rng(0x57A7, 9);
+    for case in 0..CASES {
+        let d = Weibull::new(rng.gen_range(0.3..3.0f64), rng.gen_range(10.0..2_000.0f64)).unwrap();
+        let a = rng.gen_range(0.0..5_000.0f64);
+        let b = rng.gen_range(0.0..5_000.0f64);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&d.cdf(hi)));
+        assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12, "case {case}");
+        assert!((0.0..=1.0).contains(&d.cdf(hi)), "case {case}");
     }
+}
 
-    #[test]
-    fn pareto_support_and_tail(scale in 1.0f64..1_000.0, alpha in 0.5f64..4.0, t in 0.0f64..1e6) {
+#[test]
+fn pareto_support_and_tail() {
+    let mut rng = derived_rng(0x57A7, 10);
+    for case in 0..CASES {
+        let scale = rng.gen_range(1.0..1_000.0f64);
+        let alpha = rng.gen_range(0.5..4.0f64);
+        let t = rng.gen_range(0.0..1e6f64);
         let d = Pareto::new(scale, alpha).unwrap();
         if t < scale {
-            prop_assert_eq!(d.cdf(t), 0.0);
+            assert_eq!(d.cdf(t), 0.0, "case {case}");
         } else {
             let v = d.cdf(t);
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn exponential_memorylessness(rate in 0.0005f64..0.1, s in 1.0f64..500.0, t in 1.0f64..500.0) {
-        // P(X > s+t) = P(X > s)·P(X > t)
+#[test]
+fn exponential_memorylessness() {
+    // P(X > s+t) = P(X > s)·P(X > t)
+    let mut rng = derived_rng(0x57A7, 11);
+    for case in 0..CASES {
+        let rate = rng.gen_range(0.0005..0.1f64);
+        let s = rng.gen_range(1.0..500.0f64);
+        let t = rng.gen_range(1.0..500.0f64);
         let d = Exponential::new(rate).unwrap();
         let lhs = 1.0 - d.cdf(s + t);
         let rhs = (1.0 - d.cdf(s)) * (1.0 - d.cdf(t));
-        prop_assert!((lhs - rhs).abs() < 1e-10);
+        assert!((lhs - rhs).abs() < 1e-10, "case {case}");
     }
+}
 
-    #[test]
-    fn normal_cdf_is_monotone_bounded(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+#[test]
+fn normal_cdf_is_monotone_bounded() {
+    let mut rng = derived_rng(0x57A7, 12);
+    for case in 0..CASES {
+        let a = rng.gen_range(-8.0..8.0f64);
+        let b = rng.gen_range(-8.0..8.0f64);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&normal_cdf(hi)));
+        assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12, "case {case}");
+        assert!((0.0..=1.0).contains(&normal_cdf(hi)), "case {case}");
     }
+}
 
-    #[test]
-    fn golden_section_finds_quadratic_minimum(center in 1.0f64..99.0) {
+#[test]
+fn golden_section_finds_quadratic_minimum() {
+    let mut rng = derived_rng(0x57A7, 13);
+    for case in 0..CASES {
+        let center = rng.gen_range(1.0..99.0f64);
         let r = golden_section(|x| (x - center) * (x - center), 0.0, 100.0, 1e-9);
-        prop_assert!((r.x - center).abs() < 1e-5);
+        assert!((r.x - center).abs() < 1e-5, "case {case}");
     }
+}
 
-    #[test]
-    fn grid_min_never_beaten_by_grid_points(offset in 0.0f64..10.0) {
+#[test]
+fn grid_min_never_beaten_by_grid_points() {
+    let mut rng = derived_rng(0x57A7, 14);
+    for case in 0..CASES {
+        let offset = rng.gen_range(0.0..10.0f64);
         let f = |x: f64| ((x - offset) * 0.7).sin() + 0.01 * x;
         let grid = GridSpec::new(0.0, 20.0, 200);
         let m = grid_min_1d(f, grid);
         for x in grid.points() {
-            prop_assert!(f(x) >= m.value - 1e-12);
+            assert!(f(x) >= m.value - 1e-12, "case {case} at x = {x}");
         }
     }
+}
 
-    #[test]
-    fn grid_min_2d_respects_feasibility(cx in 1.0f64..9.0, cy in 1.0f64..9.0) {
+#[test]
+fn grid_min_2d_respects_feasibility() {
+    let mut rng = derived_rng(0x57A7, 15);
+    for case in 0..CASES {
+        let cx = rng.gen_range(1.0..9.0f64);
+        let cy = rng.gen_range(1.0..9.0f64);
         let f = move |x: f64, y: f64| (x - cx).powi(2) + (y - cy).powi(2);
         let feas = |x: f64, y: f64| y >= x; // upper triangle
         let m = grid_min_2d(f, (0.0, 10.0), (0.0, 10.0), 24, 6, &feas).unwrap();
-        prop_assert!(m.y >= m.x);
+        assert!(m.y >= m.x, "case {case}");
         // optimal value is the projection onto the feasible set
-        let want = if cy >= cx { 0.0 } else { (cx - cy) * (cx - cy) / 2.0 };
-        prop_assert!(m.value <= want + 0.4, "value {} want {}", m.value, want);
+        let want = if cy >= cx {
+            0.0
+        } else {
+            (cx - cy) * (cx - cy) / 2.0
+        };
+        assert!(
+            m.value <= want + 0.4,
+            "case {case}: value {} want {want}",
+            m.value
+        );
     }
+}
 
-    #[test]
-    fn summary_merge_associative(
-        xs in proptest::collection::vec(-1e4f64..1e4, 1..50),
-        split in 0usize..49,
-    ) {
+#[test]
+fn summary_merge_associative() {
+    let mut rng = derived_rng(0x57A7, 16);
+    for case in 0..CASES {
+        let xs = samples(&mut rng, -1e4, 1e4, 1, 50);
+        let split = rng.gen_range(0..49usize);
         let k = split.min(xs.len() - 1).max(1).min(xs.len());
         let mut a = Summary::from_slice(&xs[..k]);
         let b = Summary::from_slice(&xs[k..]);
         a.merge(&b);
         let full = Summary::from_slice(&xs);
-        prop_assert_eq!(a.count(), full.count());
-        prop_assert!((a.mean() - full.mean()).abs() < 1e-7 * (1.0 + full.mean().abs()));
-        prop_assert!((a.variance() - full.variance()).abs() < 1e-6 * (1.0 + full.variance().abs()));
+        assert_eq!(a.count(), full.count(), "case {case}");
+        assert!(
+            (a.mean() - full.mean()).abs() < 1e-7 * (1.0 + full.mean().abs()),
+            "case {case}"
+        );
+        assert!(
+            (a.variance() - full.variance()).abs() < 1e-6 * (1.0 + full.variance().abs()),
+            "case {case}"
+        );
     }
 }

@@ -14,7 +14,8 @@ use gridstrat_workload::WeekId;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: gen_traces [--out DIR] [--seed N] [--format observatory|json|csv] [--week NAME]";
+const USAGE: &str =
+    "usage: gen_traces [--out DIR] [--seed N] [--format observatory|json|csv] [--week NAME]";
 
 fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("traces");

@@ -1,0 +1,375 @@
+//! Minimal JSON reader/writer for the trace archive formats.
+//!
+//! The build environment has no crates.io access, so instead of `serde`
+//! the archive round-trips ([`crate::TraceSet::to_json`],
+//! [`crate::WeekModel::to_json`]) are hand-rolled on top of this module: a
+//! by-the-grammar recursive-descent parser into a [`JsonValue`] tree plus
+//! string escaping for the writer side. Numbers are written with Rust's
+//! shortest-round-trip `Display`, so `f64` fields survive a round trip
+//! bit-exactly.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Number(f64),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(s: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object field, with a descriptive error.
+    pub fn field(&self, key: &str) -> Result<&JsonValue, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    /// The number inside, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array inside, if any.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char).unwrap_or('∅')
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                // high surrogate: must be followed by \uDC00–\uDFFF
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(format!("unpaired surrogate \\u{code:04x}"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!("invalid low surrogate \\u{low:04x}"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| format!("invalid \\u pair {combined:#x}"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u{code:04x}"))?
+                            };
+                            out.push(ch);
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let ch = s.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits (the payload of a `\u` escape).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+            .map_err(|e| e.to_string())?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number slice");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (without the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(
+            JsonValue::parse("-1.5e3").unwrap(),
+            JsonValue::Number(-1500.0)
+        );
+        assert_eq!(
+            JsonValue::parse(r#""a\"b\nc""#).unwrap(),
+            JsonValue::String("a\"b\nc".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structure() {
+        let v = JsonValue::parse(r#"{"a": [1, 2, {"b": "x"}], "c": null}"#).unwrap();
+        let arr = v.field("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].as_f64(), Some(2.0));
+        assert_eq!(arr[2].field("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c"), Some(&JsonValue::Null));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1, 2,]").is_err());
+        assert!(JsonValue::parse(r#"{"a" 1}"#).is_err());
+        assert!(JsonValue::parse("1 2").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parser() {
+        let nasty = "line1\nline2\t\"quoted\" back\\slash é✓";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(JsonValue::parse(&doc).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly_via_display() {
+        for x in [0.1f64, 1.0 / 3.0, 123456.789, 1e-300, -0.0, 570.0] {
+            let doc = format!("{x}");
+            let back = JsonValue::parse(&doc).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn unicode_escape() {
+        assert_eq!(JsonValue::parse(r#""éA""#).unwrap().as_str(), Some("éA"));
+        // non-BMP characters arrive as surrogate pairs from ASCII-only
+        // serializers (e.g. python json.dumps with ensure_ascii=True)
+        assert_eq!(
+            JsonValue::parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("😀")
+        );
+        assert!(
+            JsonValue::parse(r#""\ud83dX""#).is_err(),
+            "unpaired high surrogate must be rejected"
+        );
+        assert!(
+            JsonValue::parse(r#""\ud83dA""#).is_err(),
+            "non-surrogate low half must be rejected"
+        );
+        assert!(
+            JsonValue::parse(r#""\udc00""#).is_err(),
+            "lone low surrogate must be rejected"
+        );
+    }
+}

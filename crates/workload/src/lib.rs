@@ -17,11 +17,15 @@
 //!   and the `2007/08` union) with calibration targets derived from the
 //!   paper's Table 1, and deterministic trace synthesis;
 //! * [`observatory`] — a Grid-Observatory-style plain-text log format
-//!   (writer + parser), mirroring how such traces are archived in practice.
+//!   (writer + parser), mirroring how such traces are archived in practice;
+//! * [`json`] — the minimal JSON reader/writer backing the archive
+//!   round-trips (the build environment has no crates.io access, so there
+//!   is no `serde`).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod json;
 pub mod model;
 pub mod nonstationary;
 pub mod observatory;

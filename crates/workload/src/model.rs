@@ -18,10 +18,9 @@ use crate::trace::{ProbeRecord, ProbeStatus, TraceSet};
 use gridstrat_stats::rng::derived_rng;
 use gridstrat_stats::{Distribution, LogNormal, Pareto, Shifted};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Generative latency model for one trace period.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WeekModel {
     /// Dataset name.
     pub name: String,
@@ -101,7 +100,10 @@ impl WeekModel {
 
     /// Theoretical standard deviation of the body.
     pub fn body_std(&self) -> f64 {
-        self.body().variance().expect("log-normal variance is finite").sqrt()
+        self.body()
+            .variance()
+            .expect("log-normal variance is finite")
+            .sqrt()
     }
 
     /// Draws one *raw* latency: with probability `ρ` an outlier value beyond
@@ -120,6 +122,44 @@ impl WeekModel {
     /// `t` below the censoring threshold.
     pub fn defective_cdf(&self, t: f64) -> f64 {
         (1.0 - self.rho) * self.body().cdf(t)
+    }
+
+    /// Serialises the model parameters to JSON (archival sidecar of a
+    /// synthesised trace).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"name\": \"{}\", \"rho\": {}, \"shift_s\": {}, \"body_mu\": {}, \"body_sigma\": {}, \"threshold_s\": {}, \"outlier_alpha\": {} }}",
+            crate::json::escape(&self.name),
+            self.rho,
+            self.shift_s,
+            self.body_mu,
+            self.body_sigma,
+            self.threshold_s,
+            self.outlier_alpha,
+        )
+    }
+
+    /// Parses the JSON produced by [`WeekModel::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let doc = crate::json::JsonValue::parse(s)?;
+        let num = |key: &str| -> Result<f64, String> {
+            doc.field(key)?
+                .as_f64()
+                .ok_or_else(|| format!("`{key}` must be a number"))
+        };
+        Ok(WeekModel {
+            name: doc
+                .field("name")?
+                .as_str()
+                .ok_or("`name` must be a string")?
+                .to_string(),
+            rho: num("rho")?,
+            shift_s: num("shift_s")?,
+            body_mu: num("body_mu")?,
+            body_sigma: num("body_sigma")?,
+            threshold_s: num("threshold_s")?,
+            outlier_alpha: num("outlier_alpha")?,
+        })
     }
 
     /// Synthesises a probe trace of `n` records with the constant-in-flight
@@ -142,7 +182,11 @@ impl WeekModel {
                 (raw, ProbeStatus::Completed)
             };
             next_submit[slot] = submitted_at + latency_s;
-            records.push(ProbeRecord { submitted_at, latency_s, status });
+            records.push(ProbeRecord {
+                submitted_at,
+                latency_s,
+                status,
+            });
         }
         // submission order, as a real log would be written
         records.sort_by(|a, b| {
@@ -184,7 +228,11 @@ mod tests {
         let t = m.generate(8000, 42);
         assert_eq!(t.len(), 8000);
         // natural tail censoring adds a little to rho; both effects are small
-        assert!((t.outlier_ratio() - 0.05).abs() < 0.015, "rho {}", t.outlier_ratio());
+        assert!(
+            (t.outlier_ratio() - 0.05).abs() < 0.015,
+            "rho {}",
+            t.outlier_ratio()
+        );
         let mean = t.body_mean();
         assert!((mean - 570.0).abs() / 570.0 < 0.10, "mean {mean}");
         // the sample std of a heavy-tailed log-normal is itself heavy-tailed
@@ -242,11 +290,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let m = model();
-        let s = serde_json::to_string(&m).unwrap();
-        let back: WeekModel = serde_json::from_str(&s).unwrap();
+        let s = m.to_json();
+        let back = WeekModel::from_json(&s).unwrap();
         assert_eq!(back.name, m.name);
-        assert!((back.body_mu - m.body_mu).abs() < 1e-15);
+        assert_eq!(back.body_mu.to_bits(), m.body_mu.to_bits());
+        assert_eq!(back.body_sigma.to_bits(), m.body_sigma.to_bits());
+        assert!(WeekModel::from_json("{}").is_err());
     }
 }

@@ -13,7 +13,6 @@ use crate::trace::{ProbeRecord, ProbeStatus, TraceSet};
 use gridstrat_stats::rng::derived_rng;
 use gridstrat_stats::{Distribution, LogNormal, Shifted};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A weekly model whose intensity oscillates over wall-clock time.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// `1 + amplitude·sin(2π·t/period)` and the fault ratio by the same factor
 /// (clamped to `[0, 0.95]`) — a first-order model of the diurnal
 /// load pattern every production grid exhibits.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiurnalModel {
     /// The stationary base model (its parameters are the daily average).
     pub base: WeekModel,
@@ -40,7 +39,11 @@ impl DiurnalModel {
         if !(period_s.is_finite() && period_s > 0.0) {
             return Err(format!("period must be positive, got {period_s}"));
         }
-        Ok(DiurnalModel { base, amplitude, period_s })
+        Ok(DiurnalModel {
+            base,
+            amplitude,
+            period_s,
+        })
     }
 
     /// The instantaneous intensity factor at time `t` (≥ `1 - amplitude`).
@@ -87,15 +90,23 @@ impl DiurnalModel {
                 (raw, ProbeStatus::Completed)
             };
             next_submit[slot] = submitted_at + latency_s;
-            records.push(ProbeRecord { submitted_at, latency_s, status });
+            records.push(ProbeRecord {
+                submitted_at,
+                latency_s,
+                status,
+            });
         }
         records.sort_by(|a, b| {
             a.submitted_at
                 .partial_cmp(&b.submitted_at)
                 .expect("finite timestamps")
         });
-        TraceSet::new(format!("{}-diurnal", self.base.name), self.base.threshold_s, records)
-            .expect("generated records are consistent by construction")
+        TraceSet::new(
+            format!("{}-diurnal", self.base.name),
+            self.base.threshold_s,
+            records,
+        )
+        .expect("generated records are consistent by construction")
     }
 }
 
@@ -120,7 +131,7 @@ mod tests {
         assert!((m.intensity_at(0.0) - 1.0).abs() < 1e-12);
         assert!((m.intensity_at(21_600.0) - 1.4).abs() < 1e-9); // quarter period
         assert!((m.intensity_at(64_800.0) - 0.6).abs() < 1e-9); // three quarters
-        // mean over a full period is 1
+                                                                // mean over a full period is 1
         let mean: f64 = (0..1000)
             .map(|i| m.intensity_at(i as f64 * 86.4))
             .sum::<f64>()

@@ -83,15 +83,17 @@ pub fn parse_observatory(text: &str) -> Result<TraceSet, TraceError> {
         let status = match it.next() {
             Some("OK") => ProbeStatus::Completed,
             Some("TIMEOUT") => ProbeStatus::TimedOut,
-            Some(other) => {
-                return Err(TraceError::Parse(lineno, format!("bad status `{other}`")))
-            }
+            Some(other) => return Err(TraceError::Parse(lineno, format!("bad status `{other}`"))),
             None => return Err(TraceError::Parse(lineno, "missing status".into())),
         };
         if it.next().is_some() {
             return Err(TraceError::Parse(lineno, "trailing fields".into()));
         }
-        records.push(ProbeRecord { submitted_at, latency_s, status });
+        records.push(ProbeRecord {
+            submitted_at,
+            latency_s,
+            status,
+        });
     }
 
     let name = name.ok_or_else(|| TraceError::Parse(0, "missing `# name:` header".into()))?;

@@ -5,11 +5,11 @@
 //! probes exceeding the 10 000 s timeout were cancelled and recorded as
 //! outliers.
 
+use crate::json::{escape, JsonValue};
 use gridstrat_stats::{Ecdf, Summary};
-use serde::{Deserialize, Serialize};
 
 /// Final status of one probe job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeStatus {
     /// The job started executing; `latency_s` is its measured grid latency.
     Completed,
@@ -19,7 +19,7 @@ pub enum ProbeStatus {
 }
 
 /// One probe-job measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbeRecord {
     /// Submission instant, seconds since the start of the trace.
     pub submitted_at: f64,
@@ -40,7 +40,7 @@ impl ProbeRecord {
 ///
 /// The unit of analysis throughout the reproduction: every strategy model is
 /// estimated from one `TraceSet` (one "week" in the paper's terminology).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceSet {
     /// Dataset name, e.g. `"2006-IX"` or `"2007-36"`.
     pub name: String,
@@ -97,7 +97,11 @@ impl TraceSet {
                 return Err(TraceError::InvalidRecord(i));
             }
         }
-        Ok(TraceSet { name: name.into(), threshold_s, records })
+        Ok(TraceSet {
+            name: name.into(),
+            threshold_s,
+            records,
+        })
     }
 
     /// Number of probes (body + outliers).
@@ -145,7 +149,13 @@ impl TraceSet {
         let sum: f64 = self
             .records
             .iter()
-            .map(|r| if r.is_outlier() { self.threshold_s } else { r.latency_s })
+            .map(|r| {
+                if r.is_outlier() {
+                    self.threshold_s
+                } else {
+                    r.latency_s
+                }
+            })
             .sum();
         sum / self.len() as f64
     }
@@ -169,19 +179,83 @@ impl TraceSet {
             }
             records.extend_from_slice(&p.records);
         }
-        TraceSet::new(name, threshold.unwrap_or(crate::CENSOR_THRESHOLD_S), records)
+        TraceSet::new(
+            name,
+            threshold.unwrap_or(crate::CENSOR_THRESHOLD_S),
+            records,
+        )
     }
 
-    /// Serialises to pretty JSON.
+    /// Serialises to pretty JSON. Without corrupting the data the output
+    /// always parses back ([`TraceSet::from_json`]) to an equal trace:
+    /// floats are written in shortest-round-trip form.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serialisation cannot fail")
+        let mut out = String::with_capacity(self.records.len() * 72 + 128);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str(&format!("  \"threshold_s\": {},\n", self.threshold_s));
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let status = match r.status {
+                ProbeStatus::Completed => "Completed",
+                ProbeStatus::TimedOut => "TimedOut",
+            };
+            out.push_str(&format!(
+                "    {{ \"submitted_at\": {}, \"latency_s\": {}, \"status\": \"{status}\" }}{}\n",
+                r.submitted_at,
+                r.latency_s,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
-    /// Parses from JSON and re-validates.
+    /// Parses the JSON produced by [`TraceSet::to_json`] and re-validates.
     pub fn from_json(s: &str) -> Result<Self, TraceError> {
-        let raw: TraceSet =
-            serde_json::from_str(s).map_err(|e| TraceError::Parse(0, e.to_string()))?;
-        TraceSet::new(raw.name, raw.threshold_s, raw.records)
+        let parse_err = |m: String| TraceError::Parse(0, m);
+        let doc = JsonValue::parse(s).map_err(parse_err)?;
+        let name = doc
+            .field("name")
+            .map_err(parse_err)?
+            .as_str()
+            .ok_or_else(|| parse_err("`name` must be a string".into()))?
+            .to_string();
+        let threshold_s = doc
+            .field("threshold_s")
+            .map_err(parse_err)?
+            .as_f64()
+            .ok_or_else(|| parse_err("`threshold_s` must be a number".into()))?;
+        let raw = doc
+            .field("records")
+            .map_err(parse_err)?
+            .as_array()
+            .ok_or_else(|| parse_err("`records` must be an array".into()))?;
+        let mut records = Vec::with_capacity(raw.len());
+        for (i, rec) in raw.iter().enumerate() {
+            let num = |key: &str| -> Result<f64, TraceError> {
+                rec.field(key)
+                    .map_err(parse_err)?
+                    .as_f64()
+                    .ok_or_else(|| parse_err(format!("record {i}: `{key}` must be a number")))
+            };
+            let status = match rec
+                .field("status")
+                .map_err(parse_err)?
+                .as_str()
+                .ok_or_else(|| parse_err(format!("record {i}: `status` must be a string")))?
+            {
+                "Completed" => ProbeStatus::Completed,
+                "TimedOut" => ProbeStatus::TimedOut,
+                other => return Err(parse_err(format!("record {i}: unknown status `{other}`"))),
+            };
+            records.push(ProbeRecord {
+                submitted_at: num("submitted_at")?,
+                latency_s: num("latency_s")?,
+                status,
+            });
+        }
+        TraceSet::new(name, threshold_s, records)
     }
 
     /// Writes a CSV representation (`submitted_at,latency_s,status`).
@@ -226,10 +300,17 @@ impl TraceSet {
                 "completed" => ProbeStatus::Completed,
                 "timedout" => ProbeStatus::TimedOut,
                 other => {
-                    return Err(TraceError::Parse(lineno + 1, format!("bad status `{other}`")))
+                    return Err(TraceError::Parse(
+                        lineno + 1,
+                        format!("bad status `{other}`"),
+                    ))
                 }
             };
-            records.push(ProbeRecord { submitted_at, latency_s, status });
+            records.push(ProbeRecord {
+                submitted_at,
+                latency_s,
+                status,
+            });
         }
         TraceSet::new(name, threshold_s, records)
     }
@@ -244,10 +325,26 @@ mod tests {
             "test",
             100.0,
             vec![
-                ProbeRecord { submitted_at: 0.0, latency_s: 10.0, status: ProbeStatus::Completed },
-                ProbeRecord { submitted_at: 1.0, latency_s: 20.0, status: ProbeStatus::Completed },
-                ProbeRecord { submitted_at: 2.0, latency_s: 100.0, status: ProbeStatus::TimedOut },
-                ProbeRecord { submitted_at: 3.0, latency_s: 30.0, status: ProbeStatus::Completed },
+                ProbeRecord {
+                    submitted_at: 0.0,
+                    latency_s: 10.0,
+                    status: ProbeStatus::Completed,
+                },
+                ProbeRecord {
+                    submitted_at: 1.0,
+                    latency_s: 20.0,
+                    status: ProbeStatus::Completed,
+                },
+                ProbeRecord {
+                    submitted_at: 2.0,
+                    latency_s: 100.0,
+                    status: ProbeStatus::TimedOut,
+                },
+                ProbeRecord {
+                    submitted_at: 3.0,
+                    latency_s: 30.0,
+                    status: ProbeStatus::Completed,
+                },
             ],
         )
         .unwrap()
@@ -255,7 +352,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_inconsistencies() {
-        assert_eq!(TraceSet::new("x", 100.0, vec![]).unwrap_err(), TraceError::Empty);
+        assert_eq!(
+            TraceSet::new("x", 100.0, vec![]).unwrap_err(),
+            TraceError::Empty
+        );
         // completed at threshold
         let bad = vec![ProbeRecord {
             submitted_at: 0.0,
@@ -318,8 +418,21 @@ mod tests {
     fn json_revalidates() {
         let mut t = sample_trace();
         t.records[0].latency_s = -5.0; // corrupt after validation
-        let s = serde_json::to_string(&t).unwrap();
+        let s = t.to_json();
         assert!(TraceSet::from_json(&s).is_err());
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        assert!(TraceSet::from_json("{").is_err());
+        assert!(TraceSet::from_json("{}").is_err());
+        assert!(
+            TraceSet::from_json(r#"{"name": "x", "threshold_s": "oops", "records": []}"#).is_err()
+        );
+        assert!(TraceSet::from_json(
+            r#"{"name": "x", "threshold_s": 100, "records": [{"submitted_at": 0, "latency_s": 1, "status": "Exploded"}]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -53,19 +53,110 @@ pub struct PaperTable1Row {
 
 /// The paper's Table 1, verbatim.
 pub const PAPER_TABLE1: [PaperTable1Row; 13] = [
-    PaperTable1Row { week: "2006-IX", mean_body: 570.0, mean_censored: 1042.0, e_j: 471.0, sigma_r: 886.0, sigma_j: 331.0 },
-    PaperTable1Row { week: "2007/08", mean_body: 469.0, mean_censored: 2089.0, e_j: 500.0, sigma_r: 723.0, sigma_j: 358.0 },
-    PaperTable1Row { week: "2007-36", mean_body: 446.0, mean_censored: 2739.0, e_j: 510.0, sigma_r: 748.0, sigma_j: 370.0 },
-    PaperTable1Row { week: "2007-37", mean_body: 506.0, mean_censored: 3639.0, e_j: 617.0, sigma_r: 848.0, sigma_j: 486.0 },
-    PaperTable1Row { week: "2007-38", mean_body: 447.0, mean_censored: 2739.0, e_j: 531.0, sigma_r: 682.0, sigma_j: 399.0 },
-    PaperTable1Row { week: "2007-39", mean_body: 489.0, mean_censored: 3533.0, e_j: 596.0, sigma_r: 741.0, sigma_j: 482.0 },
-    PaperTable1Row { week: "2007-50", mean_body: 660.0, mean_censored: 2341.0, e_j: 628.0, sigma_r: 1046.0, sigma_j: 475.0 },
-    PaperTable1Row { week: "2007-51", mean_body: 478.0, mean_censored: 1716.0, e_j: 517.0, sigma_r: 510.0, sigma_j: 353.0 },
-    PaperTable1Row { week: "2007-52", mean_body: 443.0, mean_censored: 1685.0, e_j: 476.0, sigma_r: 582.0, sigma_j: 334.0 },
-    PaperTable1Row { week: "2007-53", mean_body: 449.0, mean_censored: 1977.0, e_j: 482.0, sigma_r: 678.0, sigma_j: 330.0 },
-    PaperTable1Row { week: "2008-01", mean_body: 434.0, mean_censored: 1678.0, e_j: 499.0, sigma_r: 317.0, sigma_j: 339.0 },
-    PaperTable1Row { week: "2008-02", mean_body: 418.0, mean_censored: 1568.0, e_j: 441.0, sigma_r: 547.0, sigma_j: 278.0 },
-    PaperTable1Row { week: "2008-03", mean_body: 538.0, mean_censored: 1484.0, e_j: 419.0, sigma_r: 1196.0, sigma_j: 269.0 },
+    PaperTable1Row {
+        week: "2006-IX",
+        mean_body: 570.0,
+        mean_censored: 1042.0,
+        e_j: 471.0,
+        sigma_r: 886.0,
+        sigma_j: 331.0,
+    },
+    PaperTable1Row {
+        week: "2007/08",
+        mean_body: 469.0,
+        mean_censored: 2089.0,
+        e_j: 500.0,
+        sigma_r: 723.0,
+        sigma_j: 358.0,
+    },
+    PaperTable1Row {
+        week: "2007-36",
+        mean_body: 446.0,
+        mean_censored: 2739.0,
+        e_j: 510.0,
+        sigma_r: 748.0,
+        sigma_j: 370.0,
+    },
+    PaperTable1Row {
+        week: "2007-37",
+        mean_body: 506.0,
+        mean_censored: 3639.0,
+        e_j: 617.0,
+        sigma_r: 848.0,
+        sigma_j: 486.0,
+    },
+    PaperTable1Row {
+        week: "2007-38",
+        mean_body: 447.0,
+        mean_censored: 2739.0,
+        e_j: 531.0,
+        sigma_r: 682.0,
+        sigma_j: 399.0,
+    },
+    PaperTable1Row {
+        week: "2007-39",
+        mean_body: 489.0,
+        mean_censored: 3533.0,
+        e_j: 596.0,
+        sigma_r: 741.0,
+        sigma_j: 482.0,
+    },
+    PaperTable1Row {
+        week: "2007-50",
+        mean_body: 660.0,
+        mean_censored: 2341.0,
+        e_j: 628.0,
+        sigma_r: 1046.0,
+        sigma_j: 475.0,
+    },
+    PaperTable1Row {
+        week: "2007-51",
+        mean_body: 478.0,
+        mean_censored: 1716.0,
+        e_j: 517.0,
+        sigma_r: 510.0,
+        sigma_j: 353.0,
+    },
+    PaperTable1Row {
+        week: "2007-52",
+        mean_body: 443.0,
+        mean_censored: 1685.0,
+        e_j: 476.0,
+        sigma_r: 582.0,
+        sigma_j: 334.0,
+    },
+    PaperTable1Row {
+        week: "2007-53",
+        mean_body: 449.0,
+        mean_censored: 1977.0,
+        e_j: 482.0,
+        sigma_r: 678.0,
+        sigma_j: 330.0,
+    },
+    PaperTable1Row {
+        week: "2008-01",
+        mean_body: 434.0,
+        mean_censored: 1678.0,
+        e_j: 499.0,
+        sigma_r: 317.0,
+        sigma_j: 339.0,
+    },
+    PaperTable1Row {
+        week: "2008-02",
+        mean_body: 418.0,
+        mean_censored: 1568.0,
+        e_j: 441.0,
+        sigma_r: 547.0,
+        sigma_j: 278.0,
+    },
+    PaperTable1Row {
+        week: "2008-03",
+        mean_body: 538.0,
+        mean_censored: 1484.0,
+        e_j: 419.0,
+        sigma_r: 1196.0,
+        sigma_j: 269.0,
+    },
 ];
 
 /// Hard minimum latency used for every week's body model (seconds).
@@ -164,7 +255,10 @@ impl WeekId {
 
     /// Index into [`PAPER_TABLE1`].
     pub fn table1_index(self) -> usize {
-        WeekId::ALL.iter().position(|&w| w == self).expect("ALL is exhaustive")
+        WeekId::ALL
+            .iter()
+            .position(|&w| w == self)
+            .expect("ALL is exhaustive")
     }
 
     /// The paper's Table 1 row for this dataset.
@@ -184,7 +278,12 @@ impl WeekId {
             WeekId::Union0708 => 9_900,
             _ => 900,
         };
-        WeekTargets { body_mean: row.mean_body, body_std: row.sigma_r, rho, n_probes }
+        WeekTargets {
+            body_mean: row.mean_body,
+            body_std: row.sigma_r,
+            rho,
+            n_probes,
+        }
     }
 
     /// Calibrated generative model for this dataset.
@@ -318,7 +417,11 @@ mod tests {
             let tgt = w.targets();
             let mean = t.body_mean();
             let rel = (mean - tgt.body_mean) / tgt.body_mean;
-            assert!(rel.abs() < 0.30, "{w}: mean {mean} vs target {}", tgt.body_mean);
+            assert!(
+                rel.abs() < 0.30,
+                "{w}: mean {mean} vs target {}",
+                tgt.body_mean
+            );
             assert!(
                 (t.outlier_ratio() - tgt.rho).abs() < 0.05,
                 "{w}: rho {} vs target {}",

@@ -1,86 +1,121 @@
 //! Property-based tests for the trace model: serialization round-trips on
 //! arbitrary valid traces and calibration correctness over the parameter
 //! space.
+//!
+//! The crates.io `proptest` harness is unavailable offline, so these use a
+//! seeded hand-rolled generator: every `#[test]` draws `CASES` random
+//! inputs from a fixed stream, making failures exactly reproducible (the
+//! failing case index is part of the assertion message).
 
+use gridstrat_stats::rng::derived_rng;
 use gridstrat_workload::observatory::{parse_observatory, write_observatory};
 use gridstrat_workload::{ProbeRecord, ProbeStatus, TraceSet, WeekModel};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
 
 const THRESHOLD: f64 = 10_000.0;
+const CASES: usize = 128;
 
-fn arb_record() -> impl Strategy<Value = ProbeRecord> {
-    (0.0f64..1e6, prop_oneof![Just(true), Just(false)], 0.01f64..9_999.0).prop_map(
-        |(submitted_at, outlier, lat)| {
-            if outlier {
-                ProbeRecord {
-                    submitted_at,
-                    latency_s: THRESHOLD,
-                    status: ProbeStatus::TimedOut,
-                }
-            } else {
-                ProbeRecord { submitted_at, latency_s: lat, status: ProbeStatus::Completed }
-            }
-        },
-    )
+fn arb_record(rng: &mut StdRng) -> ProbeRecord {
+    let submitted_at = rng.gen_range(0.0..1e6f64);
+    if rng.gen::<f64>() < 0.5 {
+        ProbeRecord {
+            submitted_at,
+            latency_s: THRESHOLD,
+            status: ProbeStatus::TimedOut,
+        }
+    } else {
+        ProbeRecord {
+            submitted_at,
+            latency_s: rng.gen_range(0.01..9_999.0f64),
+            status: ProbeStatus::Completed,
+        }
+    }
 }
 
-fn arb_trace() -> impl Strategy<Value = TraceSet> {
-    proptest::collection::vec(arb_record(), 1..60)
-        .prop_map(|records| TraceSet::new("prop-trace", THRESHOLD, records).unwrap())
+fn arb_trace(rng: &mut StdRng) -> TraceSet {
+    let n = rng.gen_range(1..60usize);
+    let records = (0..n).map(|_| arb_record(rng)).collect();
+    TraceSet::new("prop-trace", THRESHOLD, records).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn json_roundtrip_is_identity(trace in arb_trace()) {
+#[test]
+fn json_roundtrip_is_identity() {
+    let mut rng = derived_rng(0x7ACE, 1);
+    for case in 0..CASES {
+        let trace = arb_trace(&mut rng);
         let back = TraceSet::from_json(&trace.to_json()).unwrap();
-        prop_assert_eq!(back.records, trace.records);
-        prop_assert_eq!(back.threshold_s, trace.threshold_s);
+        assert_eq!(back.records, trace.records, "case {case}");
+        assert_eq!(back.threshold_s, trace.threshold_s, "case {case}");
     }
+}
 
-    #[test]
-    fn csv_roundtrip_is_identity(trace in arb_trace()) {
+#[test]
+fn csv_roundtrip_is_identity() {
+    let mut rng = derived_rng(0x7ACE, 2);
+    for case in 0..CASES {
+        let trace = arb_trace(&mut rng);
         let back = TraceSet::from_csv("prop-trace", THRESHOLD, &trace.to_csv()).unwrap();
-        prop_assert_eq!(back.records.len(), trace.records.len());
+        assert_eq!(back.records.len(), trace.records.len(), "case {case}");
         for (a, b) in back.records.iter().zip(&trace.records) {
-            prop_assert!((a.submitted_at - b.submitted_at).abs() < 1e-9);
-            prop_assert!((a.latency_s - b.latency_s).abs() < 1e-9);
-            prop_assert_eq!(a.status, b.status);
+            assert!(
+                (a.submitted_at - b.submitted_at).abs() < 1e-9,
+                "case {case}"
+            );
+            assert!((a.latency_s - b.latency_s).abs() < 1e-9, "case {case}");
+            assert_eq!(a.status, b.status, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn observatory_roundtrip_is_identity(trace in arb_trace()) {
+#[test]
+fn observatory_roundtrip_is_identity() {
+    let mut rng = derived_rng(0x7ACE, 3);
+    for case in 0..CASES {
+        let trace = arb_trace(&mut rng);
         let back = parse_observatory(&write_observatory(&trace)).unwrap();
-        prop_assert_eq!(back.records.len(), trace.records.len());
+        assert_eq!(back.records.len(), trace.records.len(), "case {case}");
         for (a, b) in back.records.iter().zip(&trace.records) {
-            prop_assert!((a.latency_s - b.latency_s).abs() < 1e-9);
-            prop_assert_eq!(a.status, b.status);
+            assert!((a.latency_s - b.latency_s).abs() < 1e-9, "case {case}");
+            assert_eq!(a.status, b.status, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn statistics_are_consistent(trace in arb_trace()) {
+#[test]
+fn statistics_are_consistent() {
+    let mut rng = derived_rng(0x7ACE, 4);
+    for case in 0..CASES {
+        let trace = arb_trace(&mut rng);
         let n_out = trace.n_outliers();
-        prop_assert!(n_out <= trace.len());
-        prop_assert!((trace.outlier_ratio() - n_out as f64 / trace.len() as f64).abs() < 1e-12);
+        assert!(n_out <= trace.len(), "case {case}");
+        assert!(
+            (trace.outlier_ratio() - n_out as f64 / trace.len() as f64).abs() < 1e-12,
+            "case {case}"
+        );
         if n_out < trace.len() {
             let mean = trace.body_mean();
-            prop_assert!(mean > 0.0 && mean < THRESHOLD);
+            assert!(mean > 0.0 && mean < THRESHOLD, "case {case}");
             // censored bound dominates body mean iff there are outliers
             let bound = trace.censored_mean_lower_bound();
             if n_out > 0 {
-                prop_assert!(bound > mean);
+                assert!(bound > mean, "case {case}");
             } else {
-                prop_assert!((bound - mean).abs() < 1e-9);
+                assert!((bound - mean).abs() < 1e-9, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn ecdf_matches_manual_counts(trace in arb_trace(), t in 0.0f64..12_000.0) {
-        prop_assume!(trace.n_outliers() < trace.len());
+#[test]
+fn ecdf_matches_manual_counts() {
+    let mut rng = derived_rng(0x7ACE, 5);
+    for case in 0..CASES {
+        let trace = arb_trace(&mut rng);
+        let t = rng.gen_range(0.0..12_000.0f64);
+        if trace.n_outliers() == trace.len() {
+            continue; // degenerate: no body, ecdf construction rejects
+        }
         let e = trace.ecdf().unwrap();
         let manual = trace
             .records
@@ -88,51 +123,57 @@ proptest! {
             .filter(|r| !r.is_outlier() && r.latency_s <= t)
             .count() as f64
             / trace.len() as f64;
-        prop_assert!((e.value(t) - manual).abs() < 1e-12);
+        assert!((e.value(t) - manual).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn calibration_reproduces_moments(
-        mean in 200.0f64..900.0,
-        cv in 0.3f64..2.5,
-        rho in 0.0f64..0.5,
-        shift_frac in 0.0f64..0.8,
-    ) {
+#[test]
+fn calibration_reproduces_moments() {
+    let mut rng = derived_rng(0x7ACE, 6);
+    for case in 0..CASES {
+        let mean = rng.gen_range(200.0..900.0f64);
+        let cv = rng.gen_range(0.3..2.5f64);
+        let rho = rng.gen_range(0.0..0.5f64);
+        let shift_frac = rng.gen_range(0.0..0.8f64);
         let sd = mean * cv;
         let shift = shift_frac * mean * 0.9;
         let m = WeekModel::calibrate("prop", mean, sd, rho, shift, THRESHOLD).unwrap();
-        prop_assert!((m.body_mean() - mean).abs() < 1e-6 * mean);
-        prop_assert!((m.body_std() - sd).abs() < 1e-6 * sd);
-        prop_assert!((m.rho - rho).abs() < 1e-12);
+        assert!((m.body_mean() - mean).abs() < 1e-6 * mean, "case {case}");
+        assert!((m.body_std() - sd).abs() < 1e-6 * sd, "case {case}");
+        assert!((m.rho - rho).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn generated_traces_are_valid_and_deterministic(
-        seed in 0u64..500,
-        n in 1usize..300,
-    ) {
+#[test]
+fn generated_traces_are_valid_and_deterministic() {
+    let mut rng = derived_rng(0x7ACE, 7);
+    for case in 0..CASES.min(48) {
+        let seed = rng.gen_range(0..500u64);
+        let n = rng.gen_range(1..300usize);
         let m = WeekModel::calibrate("prop", 500.0, 600.0, 0.15, 100.0, THRESHOLD).unwrap();
         let a = m.generate(n, seed);
-        prop_assert_eq!(a.len(), n);
+        assert_eq!(a.len(), n, "case {case}");
         let b = m.generate(n, seed);
-        prop_assert_eq!(&a.records, &b.records);
+        assert_eq!(&a.records, &b.records, "case {case}");
         // validation invariant: statuses match the censoring threshold
         for r in &a.records {
             match r.status {
-                ProbeStatus::Completed => prop_assert!(r.latency_s < THRESHOLD),
-                ProbeStatus::TimedOut => prop_assert!(r.latency_s >= THRESHOLD),
+                ProbeStatus::Completed => assert!(r.latency_s < THRESHOLD, "case {case}"),
+                ProbeStatus::TimedOut => assert!(r.latency_s >= THRESHOLD, "case {case}"),
             }
         }
     }
+}
 
-    #[test]
-    fn defective_cdf_bounded_by_one_minus_rho(
-        rho in 0.0f64..0.6,
-        t in 0.0f64..THRESHOLD,
-    ) {
+#[test]
+fn defective_cdf_bounded_by_one_minus_rho() {
+    let mut rng = derived_rng(0x7ACE, 8);
+    for case in 0..CASES {
+        let rho = rng.gen_range(0.0..0.6f64);
+        let t = rng.gen_range(0.0..THRESHOLD);
         let m = WeekModel::calibrate("prop", 500.0, 600.0, rho, 100.0, THRESHOLD).unwrap();
         let v = m.defective_cdf(t);
-        prop_assert!(v >= 0.0);
-        prop_assert!(v <= 1.0 - rho + 1e-12);
+        assert!(v >= 0.0, "case {case}");
+        assert!(v <= 1.0 - rho + 1e-12, "case {case}");
     }
 }

@@ -8,9 +8,9 @@
 //! medical-imaging workflow on the biomed VO typically fans out hundreds of
 //! independent tasks. This example executes such a batch against the
 //! discrete-event grid (oracle mode, calibrated to week 2007-51) under the
-//! three strategies via the Monte-Carlo executor and reports, per strategy:
-//! mean per-task latency, the batch makespan proxy (slowest task), and the
-//! submission overhead the grid has to absorb.
+//! three strategies in one batched [`ScenarioSweep`] pass and reports, per
+//! strategy: mean per-task latency, the batch makespan proxy (slowest
+//! task), and the submission overhead the grid has to absorb.
 
 use gridstrat::prelude::*;
 
@@ -20,7 +20,6 @@ const TASKS: usize = 400;
 
 fn main() {
     let week = WeekId::W2007_51;
-    let model = week.model();
     println!(
         "application: {TASKS} independent tasks on an EGEE-like grid (week {}, ρ = {:.0}%)",
         week.name(),
@@ -40,22 +39,50 @@ fn main() {
     };
 
     let specs: Vec<(&str, StrategyParams)> = vec![
-        ("no strategy (wait forever)", StrategyParams::Single { t_inf: CENSOR_THRESHOLD_S }),
-        ("single resubmission", StrategyParams::Single { t_inf: single.timeout }),
-        ("multiple submission b=3", StrategyParams::Multiple { b: 3, t_inf: multi3.timeout }),
-        ("delayed resubmission", StrategyParams::Delayed { t0: d_t0, t_inf: d_tinf }),
+        (
+            "no strategy (wait forever)",
+            StrategyParams::Single {
+                t_inf: CENSOR_THRESHOLD_S,
+            },
+        ),
+        (
+            "single resubmission",
+            StrategyParams::Single {
+                t_inf: single.timeout,
+            },
+        ),
+        (
+            "multiple submission b=3",
+            StrategyParams::Multiple {
+                b: 3,
+                t_inf: multi3.timeout,
+            },
+        ),
+        (
+            "delayed resubmission",
+            StrategyParams::Delayed {
+                t0: d_t0,
+                t_inf: d_tinf,
+            },
+        ),
     ];
 
     println!(
         "\n{:<28} {:>10} {:>10} {:>12} {:>12}",
         "strategy", "mean J", "max J", "subs/task", "N_// (real)"
     );
-    for (name, spec) in specs {
-        let executor = StrategyExecutor::new(
-            model.clone(),
-            MonteCarloConfig { trials: TASKS, seed: 0xB10 },
-        );
-        let est = executor.run(spec);
+    // one batched sweep pass executes all four strategies (cells share the
+    // thread pool, so the whole table costs one StrategyExecutor run)
+    let sweep = ScenarioSweep::over_strategies(
+        specs.iter().map(|(_, spec)| *spec).collect(),
+        week,
+        MonteCarloConfig {
+            trials: TASKS,
+            seed: 0xB10,
+        },
+    );
+    for ((name, _), cell) in specs.iter().zip(sweep.run()) {
+        let est = cell.estimate;
         // `max J` across tasks is the batch's makespan bottleneck when all
         // tasks start together
         println!(
@@ -90,9 +117,26 @@ fn main() {
         "strategy", "mean", "p95"
     );
     for (name, spec) in [
-        ("single resubmission", StrategyParams::Single { t_inf: single.timeout }),
-        ("multiple submission b=3", StrategyParams::Multiple { b: 3, t_inf: multi3.timeout }),
-        ("delayed resubmission", StrategyParams::Delayed { t0: d_t0, t_inf: d_tinf }),
+        (
+            "single resubmission",
+            StrategyParams::Single {
+                t_inf: single.timeout,
+            },
+        ),
+        (
+            "multiple submission b=3",
+            StrategyParams::Multiple {
+                b: 3,
+                t_inf: multi3.timeout,
+            },
+        ),
+        (
+            "delayed resubmission",
+            StrategyParams::Delayed {
+                t0: d_t0,
+                t_inf: d_tinf,
+            },
+        ),
     ] {
         let sampler = JSampler::new(&ecdf, spec);
         let batch = batch_outcome(&sampler, TASKS, 400, 0xBA7C);

@@ -82,7 +82,9 @@ impl Controller for Community {
     fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
         match ev {
             Notification::JobStarted { id, at } => {
-                let Some(&user) = self.job_owner.get(&id) else { return };
+                let Some(&user) = self.job_owner.get(&id) else {
+                    return;
+                };
                 if !self.round_jobs[user].contains(&id) {
                     return; // a stale copy started after its round ended: wasted slot
                 }

@@ -50,13 +50,20 @@ fn main() {
     let log = write_observatory(&trace);
     let parsed = parse_observatory(&log).expect("self-written log parses");
     assert_eq!(parsed.len(), trace.len());
-    println!("observatory round-trip: {} bytes, {} records", log.len(), parsed.len());
+    println!(
+        "observatory round-trip: {} bytes, {} records",
+        log.len(),
+        parsed.len()
+    );
 
     // 3. fit and rank body families
     let body = parsed.body_latencies();
     let (rho, rho_se) = fit_outlier_ratio(parsed.n_outliers(), parsed.len());
     println!("\nfault ratio ρ̂ = {rho:.3} ± {rho_se:.3}");
-    println!("{:<12} {:>12} {:>10} {:>8}", "family", "AIC", "KS", "p-value");
+    println!(
+        "{:<12} {:>12} {:>10} {:>8}",
+        "family", "AIC", "KS", "p-value"
+    );
     let reports = select_body_model(&body);
     for r in &reports {
         println!(

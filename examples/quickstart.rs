@@ -71,4 +71,34 @@ fn main() {
             );
         }
     }
+
+    // 7. Trust, but verify: execute all three tuned strategies against the
+    //    discrete-event grid in one batched sweep and compare realised
+    //    latency against the closed forms.
+    let sweep = ScenarioSweep::over_strategies(
+        vec![
+            SingleResubmission::new(single.timeout).params(),
+            MultipleSubmission::optimized(&model, 2).params(),
+            DelayedResubmission::new(delayed.t0, delayed.t_inf).params(),
+        ],
+        WeekId::W2006Ix,
+        MonteCarloConfig {
+            trials: 2_000,
+            seed: 0xE6EE,
+        },
+    );
+    println!(
+        "\nMonte-Carlo validation ({} trials per strategy):",
+        sweep.config.trials
+    );
+    for cell in sweep.run() {
+        let z = (cell.estimate.mean_j - cell.analytic_e_j).abs() / cell.estimate.stderr_j;
+        println!(
+            "  {:<9}: analytic E_J = {:>4.0}s, simulated {:>4.0}s ± {:.0}s  (z = {z:.1})",
+            cell.strategy.name(),
+            cell.analytic_e_j,
+            cell.estimate.mean_j,
+            cell.estimate.stderr_j,
+        );
+    }
 }

@@ -1,0 +1,305 @@
+//! Offline stand-in for the subset of the `rayon` API the workspace uses:
+//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` plus
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`].
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim (see `shims/` in the repository root). Work is
+//! executed on real OS threads via `std::thread::scope`: the index space is
+//! split into one contiguous chunk per worker and results are concatenated
+//! in index order, so output ordering — and therefore every aggregate the
+//! Monte-Carlo layers compute — is **bit-identical for any thread count**,
+//! matching the guarantee the real rayon-based code relies on.
+//!
+//! Thread count resolution order: [`ThreadPool::install`] override, then
+//! the `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+
+/// One-stop imports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn current_num_threads_inner() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of worker threads a parallel iterator would use right now.
+pub fn current_num_threads() -> usize {
+    current_num_threads_inner()
+}
+
+/// An indexed parallel computation: a length plus a pure per-index job.
+///
+/// This is the shim's internal representation of a parallel iterator;
+/// `map` stacks adapters on top of it lazily, `collect` drives it.
+pub trait ParallelIterator: Sized + Sync {
+    /// Element type produced per index.
+    type Item: Send;
+
+    /// Number of elements.
+    fn pi_len(&self) -> usize;
+
+    /// Produces the element at `i` (pure; called from worker threads).
+    fn pi_get(&self, i: usize) -> Self::Item;
+
+    /// Maps each element through `f` (lazy, like rayon's).
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and collects into `C` in index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion into a parallel iterator (mirrors rayon's trait of the same
+/// name).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over a contiguous integer range.
+pub struct RangePar<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangePar<$t>;
+            fn into_par_iter(self) -> RangePar<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangePar { start: self.start, len }
+            }
+        }
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+            fn pi_len(&self) -> usize {
+                self.len
+            }
+            fn pi_get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+    )*};
+}
+
+impl_range_par!(usize, u64, u32, i64, i32);
+
+/// Lazy `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, T> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    T: Send,
+    F: Fn(P::Item) -> T + Sync,
+{
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, i: usize) -> T {
+        (self.f)(self.base.pi_get(i))
+    }
+}
+
+/// Collection targets for `ParallelIterator::collect`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Drives the iterator and gathers results in index order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self {
+        drive(&par)
+    }
+}
+
+/// Splits `0..len` into one contiguous chunk per worker, runs the chunks on
+/// scoped threads, and concatenates the per-chunk vectors in chunk order.
+fn drive<P: ParallelIterator>(par: &P) -> Vec<P::Item> {
+    let len = par.pi_len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads_inner().min(len);
+    if workers <= 1 {
+        return (0..len).map(|i| par.pi_get(i)).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    let mut parts: Vec<Vec<P::Item>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(len);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move || (lo..hi).map(|i| par.pi_get(i)).collect::<Vec<_>>()));
+        }
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never constructed
+/// by the shim; kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the worker count (`0` means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override mirroring `rayon::ThreadPool`.
+///
+/// [`ThreadPool::install`] runs a closure during which parallel iterators
+/// started from this thread use the pool's worker count.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(self.num_threads));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_index_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (0..257u64)
+                    .into_par_iter()
+                    .map(|i| i.wrapping_mul(0x9E37))
+                    .collect()
+            })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(2), run(7));
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let v: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), before);
+    }
+}

@@ -44,16 +44,19 @@ pub use gridstrat_workload as workload;
 pub mod prelude {
     pub use gridstrat_core::application::{batch_outcome, BatchOutcome, JSampler};
     pub use gridstrat_core::cost::{
-        delayed_cost_profile, delayed_delta_cost_at, delta_cost, multiple_cost_profile,
+        cost_point, delayed_cost_profile, delayed_delta_cost_at, delta_cost, multiple_cost_profile,
         optimize_delayed_delta_cost, CostPoint, StrategyParams,
     };
-    pub use gridstrat_core::executor::{MonteCarloConfig, MonteCarloEstimate, StrategyExecutor};
+    pub use gridstrat_core::executor::{
+        GridScenario, MonteCarloConfig, MonteCarloEstimate, ScenarioOutcome, ScenarioSweep,
+        StrategyController, StrategyExecutor,
+    };
     pub use gridstrat_core::latency::{EmpiricalModel, LatencyModel, ParametricModel};
     pub use gridstrat_core::report::Table;
     pub use gridstrat_core::stability::{stability_radius, StabilityReport};
     pub use gridstrat_core::strategy::{
-        DelayedOutcome, DelayedResubmission, JDistribution, MultipleSubmission,
-        SingleResubmission, Timeout1d,
+        DelayedOutcome, DelayedResubmission, JDistribution, MultipleSubmission, SingleResubmission,
+        Strategy, Timeout1d,
     };
     pub use gridstrat_core::transfer::{transfer_matrix, TransferReport};
     pub use gridstrat_sim::{

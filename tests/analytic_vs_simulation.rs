@@ -6,8 +6,8 @@
 //! analytically and never executes the protocols; here each formula must
 //! survive contact with a simulated infrastructure.
 
-use gridstrat::prelude::*;
 use gridstrat::core::latency::ParametricModel;
+use gridstrat::prelude::*;
 
 fn week(rho: f64) -> WeekModel {
     WeekModel::calibrate("itest", 500.0, 650.0, rho, 150.0, 10_000.0).unwrap()
@@ -19,7 +19,10 @@ fn analytic_model(w: &WeekModel) -> ParametricModel<Shifted<LogNormal>> {
 }
 
 fn cfg(trials: usize) -> MonteCarloConfig {
-    MonteCarloConfig { trials, seed: 0x17E5 }
+    MonteCarloConfig {
+        trials,
+        seed: 0x17E5,
+    }
 }
 
 #[test]
@@ -29,8 +32,8 @@ fn eq1_single_resubmission_expectation() {
         let m = analytic_model(&w);
         for t_inf in [500.0, 900.0] {
             let analytic = SingleResubmission::expectation(&m, t_inf);
-            let mc = StrategyExecutor::new(w.clone(), cfg(5_000))
-                .run(StrategyParams::Single { t_inf });
+            let mc =
+                StrategyExecutor::new(w.clone(), cfg(5_000)).run(StrategyParams::Single { t_inf });
             let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
             assert!(
                 z < 4.5,
@@ -96,8 +99,8 @@ fn eq5_delayed_resubmission_expectation_and_sigma() {
     for (t0, t_inf) in [(400.0, 550.0), (300.0, 600.0), (500.0, 500.0)] {
         let analytic = DelayedResubmission::expectation(&m, t0, t_inf);
         let (_, sigma) = DelayedResubmission::moments(&m, t0, t_inf);
-        let mc = StrategyExecutor::new(w.clone(), cfg(8_000))
-            .run(StrategyParams::Delayed { t0, t_inf });
+        let mc =
+            StrategyExecutor::new(w.clone(), cfg(8_000)).run(StrategyParams::Delayed { t0, t_inf });
         let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
         assert!(
             z < 4.5,
@@ -171,7 +174,10 @@ fn empirical_and_parametric_models_agree_on_strategies() {
     assert!((es - ps).abs() / ps < 0.05, "single: emp {es} vs par {ps}");
     let em = MultipleSubmission::expectation(&emp, 4, 800.0);
     let pm = MultipleSubmission::expectation(&par, 4, 800.0);
-    assert!((em - pm).abs() / pm < 0.07, "multiple: emp {em} vs par {pm}");
+    assert!(
+        (em - pm).abs() / pm < 0.07,
+        "multiple: emp {em} vs par {pm}"
+    );
     let ed = DelayedResubmission::expectation(&emp, 350.0, 550.0);
     let pd = DelayedResubmission::expectation(&par, 350.0, 550.0);
     assert!((ed - pd).abs() / pd < 0.05, "delayed: emp {ed} vs par {pd}");

@@ -21,7 +21,10 @@ fn generalized_delayed_interpolates_between_known_strategies() {
     for b in [2u32, 3, 5] {
         let db = DelayedResubmission::expectation_with_copies(&model, b, t0, t_inf);
         let burst = MultipleSubmission::expectation(&model, b, t_inf);
-        assert!(db <= burst + 1e-9, "b={b}: delayed-multiple {db} vs burst {burst}");
+        assert!(
+            db <= burst + 1e-9,
+            "b={b}: delayed-multiple {db} vs burst {burst}"
+        );
         assert!(db < d1, "b={b} must beat b=1");
     }
 }
@@ -32,8 +35,14 @@ fn generalized_delayed_monte_carlo_agreement_on_resampled_trace() {
     let model = EmpiricalModel::from_trace(&trace).unwrap();
     let (b, t0, t_inf) = (2u32, 380.0, 560.0);
     let analytic = DelayedResubmission::expectation_with_copies(&model, b, t0, t_inf);
-    let mc = StrategyExecutor::from_trace(&trace, MonteCarloConfig { trials: 8_000, seed: 7 })
-        .run(StrategyParams::DelayedMultiple { b, t0, t_inf });
+    let mc = StrategyExecutor::from_trace(
+        &trace,
+        MonteCarloConfig {
+            trials: 8_000,
+            seed: 7,
+        },
+    )
+    .run(StrategyParams::DelayedMultiple { b, t0, t_inf });
     let z = (mc.mean_j - analytic).abs() / mc.stderr_j;
     assert!(z < 4.0, "MC {} vs analytic {analytic} (z={z})", mc.mean_j);
 }
@@ -47,15 +56,19 @@ fn batch_makespan_orders_strategies_like_their_tails() {
     let multi_t = MultipleSubmission::optimize(&model, 3).timeout;
 
     let s = JSampler::new(&ecdf, StrategyParams::Single { t_inf: single_t });
-    let m = JSampler::new(&ecdf, StrategyParams::Multiple { b: 3, t_inf: multi_t });
+    let m = JSampler::new(
+        &ecdf,
+        StrategyParams::Multiple {
+            b: 3,
+            t_inf: multi_t,
+        },
+    );
     let bs = batch_outcome(&s, 300, 200, 11);
     let bm = batch_outcome(&m, 300, 200, 11);
     assert!(bm.mean_makespan < bs.mean_makespan);
     assert!(bm.p95_makespan < bs.p95_makespan);
     // multiple's makespan advantage exceeds its mean advantage
-    assert!(
-        bs.mean_makespan / bm.mean_makespan > bs.mean_latency / bm.mean_latency
-    );
+    assert!(bs.mean_makespan / bm.mean_makespan > bs.mean_latency / bm.mean_latency);
 }
 
 #[test]

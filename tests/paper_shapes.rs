@@ -55,7 +55,11 @@ fn table1_shape_sigma_mostly_drops() {
     // per-week sample σ_R is noisy at n ≈ 600 body draws (heavy 4th moment),
     // so the average improvement is asserted directionally, not at the
     // paper's −31…−78% magnitude
-    assert!(rel_sum / 13.0 < -0.02, "mean Δσ {}% not negative", rel_sum / 13.0 * 100.0);
+    assert!(
+        rel_sum / 13.0 < -0.02,
+        "mean Δσ {}% not negative",
+        rel_sum / 13.0 * 100.0
+    );
 }
 
 #[test]
@@ -128,7 +132,11 @@ fn table4_shape_delta_cost_crossover() {
         "no sub-unit ∆cost region: {}",
         best.delta_cost
     );
-    assert!(best.delta_cost > 0.7, "suspiciously cheap: {}", best.delta_cost);
+    assert!(
+        best.delta_cost > 0.7,
+        "suspiciously cheap: {}",
+        best.delta_cost
+    );
 }
 
 #[test]
@@ -199,5 +207,9 @@ fn stability_shape_optimum_is_flat_within_5s() {
         _ => unreachable!(),
     };
     let rep = stability_radius(&m, t0, ti, 5, single.expectation);
-    assert!(rep.max_rel_diff_pct < 14.0, "instability {}%", rep.max_rel_diff_pct);
+    assert!(
+        rep.max_rel_diff_pct < 14.0,
+        "instability {}%",
+        rep.max_rel_diff_pct
+    );
 }

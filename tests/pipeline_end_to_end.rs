@@ -55,12 +55,25 @@ fn measure_archive_fit_tune_execute() {
         parsed.body_mean(),
         parsed.body_std().max(20.0),
         parsed.outlier_ratio().min(0.5),
-        parsed.body_latencies().iter().cloned().fold(f64::INFINITY, f64::min) * 0.9,
+        parsed
+            .body_latencies()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            * 0.9,
         CENSOR_THRESHOLD_S,
     )
     .unwrap();
-    let mc = StrategyExecutor::new(week, MonteCarloConfig { trials: 3_000, seed: 5 })
-        .run(StrategyParams::Single { t_inf: single.timeout });
+    let mc = StrategyExecutor::new(
+        week,
+        MonteCarloConfig {
+            trials: 3_000,
+            seed: 5,
+        },
+    )
+    .run(StrategyParams::Single {
+        t_inf: single.timeout,
+    });
     assert!(mc.completed_trials == 3_000);
     assert!(
         (mc.mean_j - single.expectation).abs() / single.expectation < 0.35,
@@ -117,7 +130,10 @@ fn degraded_grid_still_yields_usable_models() {
 fn executor_determinism_is_thread_count_independent() {
     // run the same Monte-Carlo twice under different rayon pool sizes
     let week = WeekModel::calibrate("det", 400.0, 500.0, 0.1, 100.0, 1e4).unwrap();
-    let spec = StrategyParams::Delayed { t0: 300.0, t_inf: 450.0 };
+    let spec = StrategyParams::Delayed {
+        t0: 300.0,
+        t_inf: 450.0,
+    };
     let run = |threads: usize| {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -125,7 +141,14 @@ fn executor_determinism_is_thread_count_independent() {
             .unwrap();
         let week = week.clone();
         pool.install(move || {
-            StrategyExecutor::new(week, MonteCarloConfig { trials: 2_000, seed: 9 }).run(spec)
+            StrategyExecutor::new(
+                week,
+                MonteCarloConfig {
+                    trials: 2_000,
+                    seed: 9,
+                },
+            )
+            .run(spec)
         })
     };
     let a = run(1);
