@@ -30,7 +30,63 @@ fn bench_ecdf(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("product_integrals", n), &e, |b, e| {
             b.iter(|| black_box(e.survival_product_integrals(black_box(350.0), black_box(150.0))))
         });
+        // the O(log n) powered query off warm prefix tables (the steady
+        // state of a tuning loop) vs a cold Ecdf paying the one-off build
+        e.powered_survival_integrals(5, 1.0); // warm the b=5 tables
+        g.bench_with_input(BenchmarkId::new("powered_integrals_warm", n), &e, |b, e| {
+            b.iter(|| black_box(e.powered_survival_integrals(black_box(5), black_box(700.0))))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("powered_tables_cold_build", n),
+            &samples,
+            |b, s| {
+                b.iter(|| {
+                    let cold = Ecdf::from_samples(black_box(s), 10_000.0).unwrap();
+                    black_box(cold.powered_survival_integrals(black_box(5), black_box(700.0)))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("powered_product_integrals", n),
+            &e,
+            |b, e| {
+                b.iter(|| {
+                    black_box(e.powered_survival_product_integrals(
+                        black_box(2),
+                        black_box(350.0),
+                        black_box(150.0),
+                    ))
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("body_stats", n), &e, |b, e| {
+            b.iter(|| black_box((e.body_mean(), e.body_std(), e.censored_mean_lower_bound())))
+        });
     }
+    g.finish();
+}
+
+/// The real tuning shape the tables exist for: one powered query per
+/// candidate timeout over the whole distinct-sample grid — O(n log n) with
+/// the tables, O(n²) with the old per-query body scan.
+fn bench_tuning_loop(c: &mut Criterion) {
+    let model = model_for(WeekId::W2006Ix, DEFAULT_SEED);
+    let candidates = model.candidate_timeouts();
+    let mut g = c.benchmark_group("tuning_loop");
+    g.sample_size(10);
+    g.bench_function(
+        BenchmarkId::new("powered_b5_all_candidates", candidates.len()),
+        |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &t in &candidates {
+                    let (a, m) = model.powered_survival_integrals(5, t);
+                    acc += a + m;
+                }
+                black_box(acc)
+            })
+        },
+    );
     g.finish();
 }
 
@@ -149,6 +205,7 @@ fn bench_analysis_extensions(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_ecdf,
+    bench_tuning_loop,
     bench_expectations,
     bench_optimizers,
     bench_model_construction,

@@ -4,11 +4,21 @@
 //!
 //! Reported unit: one full `run()` of a fixed sweep. Divide by
 //! `n_trials_total()` (printed at startup) for per-trial cost.
+//!
+//! Beyond the interactive Criterion output, [`bench_sweep_trajectory`]
+//! measures the canonical 12-cell × 500-trial sweep with a plain
+//! wall-clock harness and writes `BENCH_sweep.json` at the workspace root:
+//! trials/sec and cells/sec for the current tree next to the recorded
+//! pre-optimization baseline, so the perf trajectory of the hot path is a
+//! versioned artefact rather than a claim in a commit message. Set
+//! `BENCH_SMOKE=1` (CI does) to run a reduced-size smoke pass that proves
+//! the harness still works without producing publishable numbers.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridstrat_core::cost::StrategyParams;
 use gridstrat_core::executor::{GridScenario, MonteCarloConfig, ScenarioSweep};
 use gridstrat_workload::WeekId;
+use std::time::Instant;
 
 fn strategies() -> Vec<StrategyParams> {
     vec![
@@ -21,22 +31,28 @@ fn strategies() -> Vec<StrategyParams> {
     ]
 }
 
+/// The canonical trajectory workload: 3 strategies × 2 weeks × 2 scenarios
+/// = 12 cells. Trial count is a parameter so the smoke pass can shrink it.
+fn trajectory_sweep(trials: usize) -> ScenarioSweep {
+    ScenarioSweep::new(
+        strategies(),
+        vec![WeekId::W2006Ix, WeekId::W2007_51],
+        vec![
+            GridScenario::baseline(),
+            GridScenario::new("2x-faults", 2.0, 1.0),
+        ],
+        MonteCarloConfig {
+            trials,
+            seed: 0xBE7C,
+        },
+    )
+}
+
 fn bench_sweep_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("scenario_sweep");
     g.sample_size(10);
     for &trials in &[100usize, 500] {
-        let sweep = ScenarioSweep::new(
-            strategies(),
-            vec![WeekId::W2006Ix, WeekId::W2007_51],
-            vec![
-                GridScenario::baseline(),
-                GridScenario::new("2x-faults", 2.0, 1.0),
-            ],
-            MonteCarloConfig {
-                trials,
-                seed: 0xBE7C,
-            },
-        );
+        let sweep = trajectory_sweep(trials);
         println!(
             "scenario_sweep/run/{trials}: {} cells, {} total trials per run()",
             sweep.n_cells(),
@@ -78,9 +94,71 @@ fn bench_sweep_single_cell_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+// --- recorded perf trajectory -------------------------------------------------
+
+/// Pre-optimization baseline for the 12-cell × 500-trial trajectory
+/// workload, measured with this very harness at commit 96f2ebc (per-trial
+/// engine construction, `GridConfig` deep-cloned per trial) on the 1-CPU
+/// reference container. Update only when re-measuring the old code path in
+/// the same environment as the `current` numbers.
+const BASELINE_TRIALS_PER_SEC: f64 = 1_442_211.0;
+const BASELINE_CELLS_PER_SEC: f64 = 2_884.4;
+
+/// Measures the trajectory workload with a plain wall-clock harness and
+/// writes `BENCH_sweep.json` at the workspace root.
+fn bench_sweep_trajectory(_c: &mut Criterion) {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let (trials, reps) = if smoke { (20, 3) } else { (500, 15) };
+    let sweep = trajectory_sweep(trials);
+    let total_trials = sweep.n_trials_total() as f64;
+    let n_cells = sweep.n_cells() as f64;
+
+    black_box(sweep.run()); // warm-up (page-in, branch predictors, tables)
+    let mut secs: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(sweep.run());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = secs[secs.len() / 2];
+    let trials_per_sec = total_trials / median;
+    let cells_per_sec = n_cells / median;
+    let speedup = trials_per_sec / BASELINE_TRIALS_PER_SEC;
+
+    println!(
+        "sweep_trajectory/{}: {total_trials} trials in {:.3} ms median -> \
+         {trials_per_sec:.0} trials/s, {cells_per_sec:.0} cells/s \
+         ({speedup:.2}x vs recorded baseline)",
+        if smoke { "smoke" } else { "full" },
+        median * 1e3,
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"cells\": {n_cells},\n    \"trials_per_cell\": {trials},\n    \"total_trials\": {total_trials},\n    \"seed\": 48764,\n    \"mode\": \"{mode}\"\n  }},\n  \"baseline\": {{\n    \"trials_per_sec\": {BASELINE_TRIALS_PER_SEC},\n    \"cells_per_sec\": {BASELINE_CELLS_PER_SEC},\n    \"note\": \"pre-optimization hot path (per-trial engine construction, per-trial GridConfig deep clone), commit 96f2ebc, same 1-CPU container as current\"\n  }},\n  \"current\": {{\n    \"trials_per_sec\": {trials_per_sec},\n    \"cells_per_sec\": {cells_per_sec},\n    \"median_run_secs\": {median},\n    \"reps\": {reps}\n  }},\n  \"speedup_vs_baseline\": {speedup}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+    );
+    // smoke runs prove the emitter works but must not clobber the
+    // committed full-mode trajectory at the repository root
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_sweep.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json")
+    };
+    match std::fs::write(path, json) {
+        Ok(()) => println!("sweep_trajectory: wrote {path}"),
+        Err(e) => println!("sweep_trajectory: could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_sweep_throughput,
-    bench_sweep_single_cell_overhead
+    bench_sweep_single_cell_overhead,
+    bench_sweep_trajectory
 );
 criterion_main!(benches);

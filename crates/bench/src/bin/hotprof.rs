@@ -1,0 +1,99 @@
+//! Hot-path decomposition profiler: times each component of a Monte-Carlo
+//! trial (RNG seeding, latency sampling, whole trials per strategy family,
+//! per-cell analytic closed forms) so a perf regression can be localised
+//! without a system profiler. Run with
+//! `cargo run --release -p gridstrat-bench --bin hotprof`.
+
+use gridstrat_core::cost::StrategyParams;
+use gridstrat_core::executor::{MonteCarloConfig, StrategyExecutor};
+use gridstrat_stats::rng::derived_rng;
+use gridstrat_stats::Distribution;
+use gridstrat_workload::WeekId;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time_ns(label: &str, iters: u64, mut f: impl FnMut(u64)) {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{label:<44} {ns:>10.1} ns/iter");
+}
+
+fn main() {
+    let week = WeekId::W2006Ix.model();
+
+    time_ns("derive_seed + derived_rng", 2_000_000, |i| {
+        black_box(derived_rng(0xBE7C, i));
+    });
+
+    let mut rng = derived_rng(7, 0);
+
+    time_ns("WeekModel::sample_latency", 1_000_000, |_| {
+        black_box(week.sample_latency(&mut rng));
+    });
+
+    let body = week.body();
+    time_ns("body() construction only", 2_000_000, |_| {
+        black_box(week.body());
+    });
+    time_ns("prebuilt body.sample", 1_000_000, |_| {
+        black_box(body.sample(&mut rng));
+    });
+
+    // whole trials via the public API, per strategy
+    for (label, spec) in [
+        ("trial: Single", StrategyParams::Single { t_inf: 700.0 }),
+        (
+            "trial: Multiple b=3",
+            StrategyParams::Multiple { b: 3, t_inf: 800.0 },
+        ),
+        (
+            "trial: Delayed",
+            StrategyParams::Delayed {
+                t0: 400.0,
+                t_inf: 560.0,
+            },
+        ),
+    ] {
+        let ex = StrategyExecutor::new(
+            week.clone(),
+            MonteCarloConfig {
+                trials: 40_000,
+                seed: 0xBE7C,
+            },
+        );
+        let t0 = Instant::now();
+        black_box(ex.run(spec));
+        let ns = t0.elapsed().as_nanos() as f64 / 40_000.0;
+        println!("{label:<44} {ns:>10.1} ns/trial");
+    }
+
+    // analytic fixed cost per sweep cell
+    use gridstrat_core::latency::ParametricModel;
+    use gridstrat_core::strategy::Strategy;
+    let reference = ParametricModel::new(week.body(), week.rho, week.threshold_s).unwrap();
+    for (label, spec) in [
+        ("analytic: Single", StrategyParams::Single { t_inf: 700.0 }),
+        (
+            "analytic: Multiple b=3",
+            StrategyParams::Multiple { b: 3, t_inf: 800.0 },
+        ),
+        (
+            "analytic: Delayed",
+            StrategyParams::Delayed {
+                t0: 400.0,
+                t_inf: 560.0,
+            },
+        ),
+    ] {
+        let t0 = Instant::now();
+        let n = 100u64;
+        for _ in 0..n {
+            black_box(spec.expected_j(&reference));
+        }
+        let us = t0.elapsed().as_nanos() as f64 / n as f64 / 1e3;
+        println!("{label:<44} {us:>10.2} us/call");
+    }
+}

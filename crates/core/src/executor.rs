@@ -28,12 +28,20 @@ use gridstrat_stats::rng::derive_seed;
 use gridstrat_stats::Summary;
 use gridstrat_workload::{WeekId, WeekModel};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// A [`Controller`] realising a submission strategy, exposing the realised
 /// total latency once a job of the current task has started.
 pub trait StrategyController: Controller + Send {
     /// The realised total latency `J` in seconds, once known.
     fn total_latency(&self) -> Option<f64>;
+
+    /// Rewinds the controller to the state [`Strategy::build_controller`]
+    /// constructs it in, keeping internal allocations. A reset controller
+    /// must drive a trial **bit-identically** to a freshly-built one — the
+    /// Monte-Carlo workers reuse one controller across every trial of a
+    /// cell.
+    fn reset(&mut self);
 }
 
 /// Monte-Carlo run configuration.
@@ -71,47 +79,98 @@ pub struct MonteCarloEstimate {
     pub completed_trials: usize,
 }
 
-/// One trial of `strategy` on a fresh engine over `grid`: returns
-/// `(J, submissions, parallel-average)`, or `None` if no job started
-/// before the horizon. The shared kernel of both executors.
-fn run_one_trial(grid: &GridConfig, strategy: &dyn Strategy, seed: u64) -> Option<(f64, f64, f64)> {
-    let mut sim =
-        GridSimulation::new(grid.clone(), seed).expect("executor grid configs are always valid");
-    let mut ctrl = strategy.build_controller();
-    sim.run_controller(ctrl.as_mut());
-    let j = ctrl.total_latency()?;
+/// Reusable per-worker trial state: one engine and one controller, both
+/// rewound in place between trials so the hot loop never touches the
+/// allocator. Workers obtain one lazily through [`TrialWorker::obtain`]
+/// from a `map_init` scratch slot.
+struct TrialWorker {
+    sim: GridSimulation,
+    ctrl: Box<dyn StrategyController>,
+    /// Identity of the `(grid, strategy)` pair this worker was built for —
+    /// reusing it for a different pair would silently drive the wrong
+    /// protocol, so `obtain` guards against that in debug builds.
+    #[cfg(debug_assertions)]
+    built_for: (Arc<GridConfig>, StrategyParams),
+}
 
-    // cancel everything still pending so bookkeeping below sees a
-    // terminal time for every job
-    let pending: Vec<JobId> = sim
-        .jobs()
-        .iter()
-        .filter(|r| !r.state.is_terminal() && r.started_at.is_none())
-        .map(|r| r.id)
-        .collect();
-    for id in pending {
-        sim.cancel(id);
-    }
-
-    let submissions = sim.stats().client_submitted as f64;
-    // time-integral of the number of in-system jobs over [0, J]:
-    // a job is "in the system" from submission until it starts, is
-    // cancelled, or the task completes at J
-    let mut integral = 0.0;
-    for rec in sim.jobs() {
-        let s = rec.submitted_at.as_secs();
-        if s >= j {
-            continue;
+impl TrialWorker {
+    /// Returns the slot's worker primed for a `(grid, strategy, seed)`
+    /// trial: the first call constructs engine + controller, later calls
+    /// rewind them in place. Engine `reset` and controller `reset` are
+    /// bit-exact, so whether a trial ran on a fresh or a reused worker is
+    /// unobservable — the property that keeps sweep results identical
+    /// across thread counts (chunk boundaries decide reuse patterns).
+    fn obtain<'s>(
+        slot: &'s mut Option<TrialWorker>,
+        grid: &Arc<GridConfig>,
+        strategy: &dyn Strategy,
+        seed: u64,
+    ) -> &'s mut TrialWorker {
+        match slot {
+            Some(worker) => {
+                #[cfg(debug_assertions)]
+                {
+                    debug_assert!(
+                        Arc::ptr_eq(&worker.built_for.0, grid)
+                            && worker.built_for.1 == strategy.params(),
+                        "TrialWorker reused for a different (grid, strategy) pair"
+                    );
+                }
+                worker.sim.reset(seed);
+                worker.ctrl.reset();
+            }
+            None => {
+                *slot = Some(TrialWorker {
+                    sim: GridSimulation::new(Arc::clone(grid), seed)
+                        .expect("executor grid configs are always valid"),
+                    ctrl: strategy.build_controller(),
+                    #[cfg(debug_assertions)]
+                    built_for: (Arc::clone(grid), strategy.params()),
+                });
+            }
         }
-        let end = match (rec.started_at, rec.terminated_at) {
-            (Some(st), _) => st.as_secs(),
-            (None, Some(term)) => term.as_secs(),
-            (None, None) => j,
-        };
-        integral += end.min(j) - s;
+        slot.as_mut().expect("worker just installed")
     }
-    let n_par = if j > 0.0 { integral / j } else { 1.0 };
-    Some((j, submissions, n_par))
+
+    /// One trial on the primed engine: returns
+    /// `(J, submissions, parallel-average)`, or `None` if no job started
+    /// before the horizon. The shared kernel of both executors.
+    fn run(&mut self) -> Option<(f64, f64, f64)> {
+        let sim = &mut self.sim;
+        sim.run_controller(self.ctrl.as_mut());
+        let j = self.ctrl.total_latency()?;
+
+        // cancel everything still pending so bookkeeping below sees a
+        // terminal time for every job (index loop: no scratch vector, and
+        // cancelling one job never flips another job's pending state)
+        for idx in 0..sim.jobs().len() {
+            let rec = &sim.jobs()[idx];
+            if !rec.state.is_terminal() && rec.started_at.is_none() {
+                let id = rec.id;
+                sim.cancel(id);
+            }
+        }
+
+        let submissions = sim.stats().client_submitted as f64;
+        // time-integral of the number of in-system jobs over [0, J]:
+        // a job is "in the system" from submission until it starts, is
+        // cancelled, or the task completes at J
+        let mut integral = 0.0;
+        for rec in sim.jobs() {
+            let s = rec.submitted_at.as_secs();
+            if s >= j {
+                continue;
+            }
+            let end = match (rec.started_at, rec.terminated_at) {
+                (Some(st), _) => st.as_secs(),
+                (None, Some(term)) => term.as_secs(),
+                (None, None) => j,
+            };
+            integral += end.min(j) - s;
+        }
+        let n_par = if j > 0.0 { integral / j } else { 1.0 };
+        Some((j, submissions, n_par))
+    }
 }
 
 /// Folds per-trial outcomes — **in trial order** — into an estimate.
@@ -135,9 +194,14 @@ fn aggregate(outcomes: impl IntoIterator<Item = Option<(f64, f64, f64)>>) -> Mon
 }
 
 /// Runs submission strategies against an oracle- or resample-mode grid.
+///
+/// The grid configuration is held behind an `Arc`: the thousands of
+/// engines a run spins up all share it, so a trial costs no configuration
+/// copy — in resample mode that previously meant cloning the entire
+/// recorded sample vector per trial.
 #[derive(Debug, Clone)]
 pub struct StrategyExecutor {
-    grid: GridConfig,
+    grid: Arc<GridConfig>,
     config: MonteCarloConfig,
 }
 
@@ -146,7 +210,7 @@ impl StrategyExecutor {
     /// (oracle mode).
     pub fn new(model: WeekModel, config: MonteCarloConfig) -> Self {
         StrategyExecutor {
-            grid: GridConfig::oracle(model),
+            grid: Arc::new(GridConfig::oracle(model)),
             config,
         }
     }
@@ -157,7 +221,7 @@ impl StrategyExecutor {
     pub fn from_trace(trace: &gridstrat_workload::TraceSet, config: MonteCarloConfig) -> Self {
         let latencies: Vec<f64> = trace.records.iter().map(|r| r.latency_s).collect();
         StrategyExecutor {
-            grid: GridConfig::resample(latencies, trace.threshold_s),
+            grid: Arc::new(GridConfig::resample(latencies, trace.threshold_s)),
             config,
         }
     }
@@ -165,17 +229,21 @@ impl StrategyExecutor {
     /// Runs `trials` independent executions of the strategy and aggregates.
     ///
     /// Trials execute on the rayon pool but are aggregated in trial order,
-    /// so the estimate is **bit-identical** for any thread count.
+    /// so the estimate is **bit-identical** for any thread count. Each
+    /// worker thread reuses one engine + controller across all its trials
+    /// (`map_init` scratch), so the per-trial cost is the protocol itself,
+    /// not allocator traffic.
     pub fn run_strategy(&self, strategy: &dyn Strategy) -> MonteCarloEstimate {
+        let grid = &self.grid;
         let outcomes: Vec<Option<(f64, f64, f64)>> = (0..self.config.trials)
             .into_par_iter()
-            .map(|trial| {
-                run_one_trial(
-                    &self.grid,
-                    strategy,
-                    derive_seed(self.config.seed, trial as u64),
-                )
-            })
+            .map_init(
+                || None::<TrialWorker>,
+                |slot, trial| {
+                    let seed = derive_seed(self.config.seed, trial as u64);
+                    TrialWorker::obtain(slot, grid, strategy, seed).run()
+                },
+            )
             .collect();
         aggregate(outcomes)
     }
@@ -348,7 +416,7 @@ impl ScenarioSweep {
             strategy: StrategyParams,
             week: WeekId,
             scenario: String,
-            grid: GridConfig,
+            grid: Arc<GridConfig>,
             seed: u64,
         }
 
@@ -372,7 +440,7 @@ impl ScenarioSweep {
                         strategy: *strategy,
                         week,
                         scenario: scenario.name.clone(),
-                        grid: GridConfig::oracle(model),
+                        grid: Arc::new(GridConfig::oracle(model)),
                         seed: derive_seed(self.config.seed, cell),
                     });
                 }
@@ -381,13 +449,27 @@ impl ScenarioSweep {
 
         let total = plans.len() * trials;
         let plans_ref = &plans;
+        // the flat (cell × trial) index space is chunked over the pool;
+        // each worker keeps one engine + controller alive and rewinds them
+        // per trial, rebuilding only when its chunk crosses into a cell
+        // with a different grid/strategy
         let outcomes: Vec<Option<(f64, f64, f64)>> = (0..total)
             .into_par_iter()
-            .map(move |k| {
-                let plan = &plans_ref[k / trials];
-                let trial = (k % trials) as u64;
-                run_one_trial(&plan.grid, &plan.strategy, derive_seed(plan.seed, trial))
-            })
+            .map_init(
+                || None::<(usize, Option<TrialWorker>)>,
+                move |state, k| {
+                    let cell = k / trials;
+                    let plan = &plans_ref[cell];
+                    let trial = (k % trials) as u64;
+                    let seed = derive_seed(plan.seed, trial);
+                    match state {
+                        Some((c, _)) if *c == cell => {}
+                        _ => *state = Some((cell, None)),
+                    }
+                    let (_, slot) = state.as_mut().expect("cell slot just installed");
+                    TrialWorker::obtain(slot, &plan.grid, &plan.strategy, seed).run()
+                },
+            )
             .collect();
 
         plans
@@ -460,6 +542,11 @@ impl StrategyController for SingleCtrl {
     fn total_latency(&self) -> Option<f64> {
         self.j
     }
+
+    fn reset(&mut self) {
+        self.current = None;
+        self.j = None;
+    }
 }
 
 // --- multiple (burst) submission ----------------------------------------------
@@ -503,14 +590,16 @@ impl Controller for MultipleCtrl {
         match ev {
             Notification::JobStarted { id, at } if self.j.is_none() && self.jobs.contains(&id) => {
                 self.j = Some(at.as_secs());
-                // cancel the rest of the collection
-                let others: Vec<JobId> = self.jobs.iter().copied().filter(|&o| o != id).collect();
-                for o in others {
-                    sim.cancel(o);
+                // cancel the rest of the collection (`sim` and `self.jobs`
+                // are disjoint borrows — no scratch copy needed)
+                for &o in &self.jobs {
+                    if o != id {
+                        sim.cancel(o);
+                    }
                 }
             }
             Notification::Timer { token, .. } if self.j.is_none() && token == self.round => {
-                for &o in &self.jobs.clone() {
+                for &o in &self.jobs {
                     sim.cancel(o);
                 }
                 self.round += 1;
@@ -528,6 +617,12 @@ impl Controller for MultipleCtrl {
 impl StrategyController for MultipleCtrl {
     fn total_latency(&self) -> Option<f64> {
         self.j
+    }
+
+    fn reset(&mut self) {
+        self.round = 0;
+        self.jobs.clear(); // keeps the b-slot allocation
+        self.j = None;
     }
 }
 
@@ -593,9 +688,10 @@ impl Controller for DelayedCtrl {
         match ev {
             Notification::JobStarted { id, at } if self.jobs.contains(&id) => {
                 self.j = Some(at.as_secs());
-                let others: Vec<JobId> = self.jobs.iter().copied().filter(|&o| o != id).collect();
-                for o in others {
-                    sim.cancel(o);
+                for &o in &self.jobs {
+                    if o != id {
+                        sim.cancel(o);
+                    }
                 }
             }
             Notification::Timer { token, .. } => {
@@ -620,6 +716,12 @@ impl Controller for DelayedCtrl {
 impl StrategyController for DelayedCtrl {
     fn total_latency(&self) -> Option<f64> {
         self.j
+    }
+
+    fn reset(&mut self) {
+        self.jobs.clear();
+        self.echelons = 0;
+        self.j = None;
     }
 }
 
@@ -736,6 +838,53 @@ mod tests {
             "realised {} vs convention {paper_convention}",
             mc.mean_parallel
         );
+    }
+
+    #[test]
+    fn engine_reuse_is_unobservable() {
+        // 1 thread = one worker reused for every trial; as many threads as
+        // trials = every trial on a freshly-built engine + controller.
+        // The two extremes must agree to the bit, for every strategy
+        // family (reset() correctness of each controller).
+        let trials = 48usize;
+        let w = week();
+        for spec in [
+            StrategyParams::Single { t_inf: 700.0 },
+            StrategyParams::Multiple { b: 3, t_inf: 800.0 },
+            StrategyParams::Delayed {
+                t0: 400.0,
+                t_inf: 560.0,
+            },
+            StrategyParams::DelayedMultiple {
+                b: 2,
+                t0: 400.0,
+                t_inf: 560.0,
+            },
+        ] {
+            let run_with = |threads: usize| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool");
+                pool.install(|| StrategyExecutor::new(w.clone(), cfg(trials)).run(spec))
+            };
+            let reused = run_with(1);
+            let fresh = run_with(trials);
+            assert_eq!(
+                reused.mean_j.to_bits(),
+                fresh.mean_j.to_bits(),
+                "{spec:?}: reused engine diverged from fresh"
+            );
+            assert_eq!(reused.std_j.to_bits(), fresh.std_j.to_bits());
+            assert_eq!(
+                reused.mean_submissions.to_bits(),
+                fresh.mean_submissions.to_bits()
+            );
+            assert_eq!(
+                reused.mean_parallel.to_bits(),
+                fresh.mean_parallel.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   with adaptive-Simpson quadrature for the same integrals. Useful for
 //!   smoothing rough traces and for closed-form cross-checks.
 
-use gridstrat_stats::integrate::adaptive_simpson;
+use gridstrat_stats::integrate::{adaptive_simpson, adaptive_simpson_with_moment};
 use gridstrat_stats::{Distribution, Ecdf};
 use gridstrat_workload::TraceSet;
 
@@ -115,69 +115,15 @@ impl LatencyModel for EmpiricalModel {
     }
 
     fn powered_survival_integrals(&self, b: u32, t: f64) -> (f64, f64) {
-        if t <= 0.0 {
-            return (0.0, 0.0);
-        }
-        let xs = self.ecdf.body();
-        let n = self.ecdf.n_total() as f64;
-        let b = b as i32;
-        let mut a_int = 0.0;
-        let mut b_int = 0.0;
-        let mut lo = 0.0;
-        let mut j = 0usize;
-        // iterate intervals [x_{j-1}, x_j) below t; survival is (1 - j/n)^b
-        while lo < t {
-            let hi = if j < xs.len() { xs[j].min(t) } else { t };
-            if hi > lo {
-                let s = (1.0 - j as f64 / n).powi(b);
-                a_int += s * (hi - lo);
-                b_int += s * 0.5 * (hi * hi - lo * lo);
-            }
-            lo = hi;
-            j += 1;
-        }
-        (a_int, b_int)
+        // O(log n) off the ECDF's cached per-power prefix tables — the
+        // timeout-tuning loop queries this once per candidate, so the old
+        // per-query body scan made tuning O(n·k)
+        self.ecdf.powered_survival_integrals(b, t)
     }
 
     fn powered_survival_product_integrals(&self, b: u32, shift: f64, l: f64) -> (f64, f64) {
-        if l <= 0.0 {
-            return (0.0, 0.0);
-        }
-        let xs = self.ecdf.body();
-        let n = self.ecdf.n_total() as f64;
-        let b = b as i32;
-        // breakpoints of s(u)·s(u+shift) inside (0, l): sample values and
-        // sample values shifted left
-        let mut brs: Vec<f64> = Vec::new();
-        let start = xs.partition_point(|&x| x <= 0.0);
-        let end = xs.partition_point(|&x| x < l);
-        brs.extend_from_slice(&xs[start..end]);
-        let start_s = xs.partition_point(|&x| x <= shift);
-        let end_s = xs.partition_point(|&x| x < shift + l);
-        brs.extend(xs[start_s..end_s].iter().map(|&x| x - shift));
-        brs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
-        brs.dedup();
-
-        let mut c = 0.0;
-        let mut d = 0.0;
-        let mut lo = 0.0;
-        let mut idx = 0usize;
-        while lo < l {
-            let hi = if idx < brs.len() { brs[idx].min(l) } else { l };
-            if hi > lo {
-                // midpoint evaluation: exact for step functions and immune
-                // to the (x - shift) + shift float round-trip at edges
-                let mid = 0.5 * (lo + hi);
-                let j1 = xs.partition_point(|&x| x <= mid);
-                let j2 = xs.partition_point(|&x| x <= mid + shift);
-                let v = ((1.0 - j1 as f64 / n) * (1.0 - j2 as f64 / n)).powi(b);
-                c += v * (hi - lo);
-                d += v * 0.5 * (hi * hi - lo * lo);
-            }
-            lo = hi;
-            idx += 1;
-        }
-        (c, d)
+        // allocation-free two-pointer merge over the sample array
+        self.ecdf.powered_survival_product_integrals(b, shift, l)
     }
 
     fn horizon(&self) -> f64 {
@@ -264,19 +210,14 @@ impl<D: Distribution> LatencyModel for ParametricModel<D> {
         if l <= 0.0 {
             return (0.0, 0.0);
         }
-        let c = adaptive_simpson(
+        // one fused pass: the body-CDF evaluations dominate, and the
+        // integral and its moment share every abscissa
+        adaptive_simpson_with_moment(
             |u| self.survival(u + shift) * self.survival(u),
             0.0,
             l,
             QUAD_TOL,
-        );
-        let d = adaptive_simpson(
-            |u| u * self.survival(u + shift) * self.survival(u),
-            0.0,
-            l,
-            QUAD_TOL,
-        );
-        (c, d)
+        )
     }
 
     fn powered_survival_integrals(&self, b: u32, t: f64) -> (f64, f64) {
@@ -284,9 +225,7 @@ impl<D: Distribution> LatencyModel for ParametricModel<D> {
             return (0.0, 0.0);
         }
         let b = b as i32;
-        let a = adaptive_simpson(|u| self.survival(u).powi(b), 0.0, t, QUAD_TOL);
-        let m = adaptive_simpson(|u| u * self.survival(u).powi(b), 0.0, t, QUAD_TOL);
-        (a, m)
+        adaptive_simpson_with_moment(|u| self.survival(u).powi(b), 0.0, t, QUAD_TOL)
     }
 
     fn powered_survival_product_integrals(&self, b: u32, shift: f64, l: f64) -> (f64, f64) {
@@ -294,19 +233,12 @@ impl<D: Distribution> LatencyModel for ParametricModel<D> {
             return (0.0, 0.0);
         }
         let b = b as i32;
-        let c = adaptive_simpson(
+        adaptive_simpson_with_moment(
             |u| (self.survival(u + shift) * self.survival(u)).powi(b),
             0.0,
             l,
             QUAD_TOL,
-        );
-        let d = adaptive_simpson(
-            |u| u * (self.survival(u + shift) * self.survival(u)).powi(b),
-            0.0,
-            l,
-            QUAD_TOL,
-        );
-        (c, d)
+        )
     }
 
     fn horizon(&self) -> f64 {

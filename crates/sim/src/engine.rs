@@ -15,6 +15,7 @@ use gridstrat_stats::dist::{sample_standard_normal, LogNormal};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Events surfaced to the client-side controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,7 +115,11 @@ pub struct EngineStats {
 /// ```
 #[derive(Debug)]
 pub struct GridSimulation {
-    cfg: GridConfig,
+    /// Shared, immutable configuration. An `Arc` so Monte-Carlo layers can
+    /// hand thousands of engines the same config without deep-cloning the
+    /// latency model (oracle mode) or the recorded sample vector
+    /// (resample mode).
+    cfg: Arc<GridConfig>,
     now: SimTime,
     queue: EventQueue,
     jobs: Vec<JobRecord>,
@@ -127,7 +132,12 @@ pub struct GridSimulation {
 
 impl GridSimulation {
     /// Builds a simulation from a validated config and a seed.
-    pub fn new(cfg: GridConfig, seed: u64) -> Result<Self, String> {
+    ///
+    /// Accepts either an owned [`GridConfig`] or an `Arc<GridConfig>`;
+    /// executors that run many engines over one config should pass the
+    /// `Arc` so construction never copies sample vectors or site tables.
+    pub fn new(cfg: impl Into<Arc<GridConfig>>, seed: u64) -> Result<Self, String> {
+        let cfg = cfg.into();
         cfg.validate()?;
         let sites = cfg.sites.iter().map(|_| SiteState::default()).collect();
         let mut sim = GridSimulation {
@@ -145,6 +155,35 @@ impl GridSimulation {
             sim.schedule_next_background_arrival();
         }
         Ok(sim)
+    }
+
+    /// Rewinds the engine in place to the state a freshly-constructed
+    /// `GridSimulation::new(cfg, seed)` would have — but keeping every
+    /// internal allocation (job table, execution-time table, event heap,
+    /// site queues, notification buffer). A trial loop that calls `reset`
+    /// between runs produces **bit-identical** histories to one that
+    /// constructs a new engine per trial, without touching the allocator
+    /// on the hot path.
+    pub fn reset(&mut self, seed: u64) {
+        self.now = SimTime::ZERO;
+        self.queue.clear();
+        self.jobs.clear();
+        self.exec_times.clear();
+        for site in &mut self.sites {
+            site.running = 0;
+            site.queue.clear();
+        }
+        self.rng = StdRng::seed_from_u64(seed);
+        self.notifications.clear();
+        self.stats = EngineStats::default();
+        if self.cfg.background.is_some() {
+            self.schedule_next_background_arrival();
+        }
+    }
+
+    /// The shared configuration this engine runs against.
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
     }
 
     /// Current simulation time.
@@ -260,9 +299,12 @@ impl GridSimulation {
     }
 
     fn route_submission(&mut self, id: JobId) {
+        // `self.cfg.latency` and `self.rng` are disjoint fields, so the
+        // model can be sampled in place — deep-cloning the latency model
+        // per submission (the old code) was the single largest allocation
+        // on the Monte-Carlo hot path
         match &self.cfg.latency {
             LatencyMode::Oracle(model) => {
-                let model = model.clone();
                 let raw = model.sample_latency(&mut self.rng);
                 if raw >= model.threshold_s {
                     // silently lost: the client only learns via its own timeout
@@ -596,6 +638,81 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    /// Full bit-level fingerprint of a finished run: every audit field of
+    /// every job plus the aggregate counters.
+    fn fingerprint(sim: &GridSimulation) -> Vec<(u64, u8, u64, u64, u64)> {
+        sim.jobs()
+            .iter()
+            .map(|r| {
+                (
+                    r.id.0,
+                    r.state as u8,
+                    r.submitted_at.as_secs().to_bits(),
+                    r.started_at.map_or(u64::MAX, |t| t.as_secs().to_bits()),
+                    r.terminated_at.map_or(u64::MAX, |t| t.as_secs().to_bits()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reset_reproduces_fresh_engine_bit_for_bit() {
+        // a reused engine must be indistinguishable from a new one: same
+        // job histories (to the bit), same stats, same collected latencies
+        let run_fresh = |cfg: &GridConfig, seed: u64| {
+            let mut sim = GridSimulation::new(cfg.clone(), seed).unwrap();
+            let mut ctrl = CollectStarts::new(300);
+            sim.run_controller(&mut ctrl);
+            (fingerprint(&sim), sim.stats(), ctrl.latencies)
+        };
+
+        // oracle mode and pipeline mode with background load: the latter
+        // exercises the event heap, site queues and background RNG stream
+        let mut pipeline = GridConfig::pipeline_default();
+        pipeline.background = Some(crate::config::BackgroundLoadConfig {
+            arrival_rate_per_s: 0.05,
+            exec_mean_s: 300.0,
+            exec_cv: 1.0,
+        });
+        for cfg in [GridConfig::oracle(oracle_model(0.12)), pipeline] {
+            // one engine reused across seeds — dirty state from seed 11
+            // must not leak into the seed-22 run
+            let mut sim = GridSimulation::new(cfg.clone(), 11).unwrap();
+            let mut first = CollectStarts::new(300);
+            sim.run_controller(&mut first);
+            for seed in [11u64, 22, 33] {
+                sim.reset(seed);
+                let mut ctrl = CollectStarts::new(300);
+                sim.run_controller(&mut ctrl);
+                let (jobs, stats, latencies) = run_fresh(&cfg, seed);
+                assert_eq!(fingerprint(&sim), jobs, "job audit diverged (seed {seed})");
+                assert_eq!(sim.stats(), stats, "stats diverged (seed {seed})");
+                assert_eq!(
+                    ctrl.latencies
+                        .iter()
+                        .map(|l| l.to_bits())
+                        .collect::<Vec<_>>(),
+                    latencies.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                    "latency stream diverged (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_pending_timers_and_events() {
+        // arm a far-future timer, reset, and confirm it never fires
+        let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.0)), 5).unwrap();
+        sim.set_timer(SimDuration::from_secs(1.0), 777);
+        sim.submit();
+        sim.reset(5);
+        let mut ctrl = CollectStarts::new(10);
+        sim.run_controller(&mut ctrl);
+        assert_eq!(ctrl.deadline_tokens, 0, "stale timer leaked through reset");
+        assert_eq!(sim.stats().client_submitted, 10);
+        assert_eq!(sim.jobs().len(), 10, "stale job records leaked");
     }
 
     #[test]

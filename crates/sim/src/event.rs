@@ -79,6 +79,16 @@ impl EventQueue {
         self.heap.push(Reverse(Scheduled { at, seq, kind }));
     }
 
+    /// Removes every pending event and rewinds the sequence counter, as if
+    /// the queue had just been constructed — but keeping the heap's
+    /// allocation. Resetting `next_seq` matters for reproducibility: the
+    /// sequence number breaks same-instant ties, so a reused queue must
+    /// hand out the same numbers a fresh one would.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
         self.heap.pop().map(|Reverse(s)| (s.at, s.kind))

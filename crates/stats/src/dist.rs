@@ -139,12 +139,24 @@ pub fn normal_quantile(p: f64) -> f64 {
     x
 }
 
-/// Draws a standard normal variate (inverse-CDF method; one uniform per
-/// draw, so streams are easy to reason about).
+/// Draws a standard normal variate via Marsaglia's polar method.
+///
+/// Exactly normal (a rejection method, not an approximation) and several
+/// times cheaper than inverting [`normal_quantile`], whose Acklam-plus-
+/// Newton polish costs two `erfc` evaluations per draw — it was the single
+/// hottest instruction path of the Monte-Carlo executors. The price is a
+/// variable number of uniforms per draw (~2.55 on average), which is fine:
+/// every consumer owns a dedicated seeded RNG stream, so no code reasons
+/// about draw positions within a stream.
 pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // keep u strictly inside (0, 1): gen::<f64>() lies in [0, 1)
-    let u = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
-    normal_quantile(u.min(1.0 - f64::EPSILON / 2.0))
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
 }
 
 /// Lanczos approximation of `ln Γ(x)` for `x > 0` (g = 7, n = 9), absolute

@@ -60,6 +60,15 @@ pub trait ParallelIterator: Sized + Sync {
     /// Produces the element at `i` (pure; called from worker threads).
     fn pi_get(&self, i: usize) -> Self::Item;
 
+    /// Produces the elements of the half-open index range `lo..hi`, in
+    /// order. Adapters carrying per-chunk state ([`MapInit`]) override
+    /// this; the default simply calls [`ParallelIterator::pi_get`] per
+    /// index. The driver hands each worker thread exactly one contiguous
+    /// chunk, so an override sees every index of its chunk in one call.
+    fn pi_chunk(&self, lo: usize, hi: usize) -> Vec<Self::Item> {
+        (lo..hi).map(|i| self.pi_get(i)).collect()
+    }
+
     /// Maps each element through `f` (lazy, like rayon's).
     fn map<T, F>(self, f: F) -> Map<Self, F>
     where
@@ -67,6 +76,27 @@ pub trait ParallelIterator: Sized + Sync {
         F: Fn(Self::Item) -> T + Sync,
     {
         Map { base: self, f }
+    }
+
+    /// Maps each element through `f` with access to a per-chunk scratch
+    /// value created by `init` — the shim's equivalent of rayon's
+    /// `map_init`. Real rayon re-creates the scratch per work-stealing
+    /// split at unpredictable boundaries, so (exactly as with rayon)
+    /// `f`'s output for an element must not depend on which elements
+    /// shared its scratch: the scratch is a reusable *resource* (an
+    /// engine, a buffer), never an accumulator. Under that contract the
+    /// collected output is bit-identical for any thread count.
+    fn map_init<INIT, T, R, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        INIT: Fn() -> T + Sync,
+        R: Send,
+        F: Fn(&mut T, Self::Item) -> R + Sync,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
     }
 
     /// Executes the pipeline and collects into `C` in index order.
@@ -141,6 +171,49 @@ where
     fn pi_get(&self, i: usize) -> T {
         (self.f)(self.base.pi_get(i))
     }
+
+    fn pi_chunk(&self, lo: usize, hi: usize) -> Vec<T> {
+        self.base
+            .pi_chunk(lo, hi)
+            .into_iter()
+            .map(&self.f)
+            .collect()
+    }
+}
+
+/// Lazy `map_init` adapter: like [`Map`], plus a per-chunk scratch value.
+pub struct MapInit<P, INIT, F> {
+    base: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, INIT, T, R, F> ParallelIterator for MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    INIT: Fn() -> T + Sync,
+    R: Send,
+    F: Fn(&mut T, P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, i: usize) -> R {
+        // single-element fallback: fresh scratch per element — valid (if
+        // slower) under the map_init contract
+        let mut scratch = (self.init)();
+        (self.f)(&mut scratch, self.base.pi_get(i))
+    }
+
+    fn pi_chunk(&self, lo: usize, hi: usize) -> Vec<R> {
+        let mut scratch = (self.init)();
+        (lo..hi)
+            .map(|i| (self.f)(&mut scratch, self.base.pi_get(i)))
+            .collect()
+    }
 }
 
 /// Collection targets for `ParallelIterator::collect`.
@@ -164,7 +237,7 @@ fn drive<P: ParallelIterator>(par: &P) -> Vec<P::Item> {
     }
     let workers = current_num_threads_inner().min(len);
     if workers <= 1 {
-        return (0..len).map(|i| par.pi_get(i)).collect();
+        return par.pi_chunk(0, len);
     }
     let chunk = len.div_ceil(workers);
     let mut parts: Vec<Vec<P::Item>> = Vec::with_capacity(workers);
@@ -176,7 +249,7 @@ fn drive<P: ParallelIterator>(par: &P) -> Vec<P::Item> {
             if lo >= hi {
                 break;
             }
-            handles.push(scope.spawn(move || (lo..hi).map(|i| par.pi_get(i)).collect::<Vec<_>>()));
+            handles.push(scope.spawn(move || par.pi_chunk(lo, hi)));
         }
         for h in handles {
             parts.push(h.join().expect("parallel worker panicked"));
@@ -281,6 +354,55 @@ mod tests {
                 (0..257u64)
                     .into_par_iter()
                     .map(|i| i.wrapping_mul(0x9E37))
+                    .collect()
+            })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(2), run(7));
+    }
+
+    #[test]
+    fn map_init_preserves_index_order_and_reuses_scratch() {
+        // scratch counts how many elements it served; outputs must not
+        // depend on it (the map_init contract), but reuse must happen
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        INITS.store(0, Ordering::SeqCst);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let v: Vec<u64> = pool.install(|| {
+            (0..300u64)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        INITS.fetch_add(1, Ordering::SeqCst);
+                        Vec::<u64>::with_capacity(8) // a reusable buffer
+                    },
+                    |buf, i| {
+                        buf.clear();
+                        buf.push(i * 3);
+                        buf[0]
+                    },
+                )
+                .collect()
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3);
+        }
+        // one scratch per worker chunk, not per element
+        assert_eq!(INITS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn map_init_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (0..257u64)
+                    .into_par_iter()
+                    .map_init(|| 0u64, |_, i| i.wrapping_mul(0x9E37))
                     .collect()
             })
         };
