@@ -13,6 +13,10 @@
 //! versioned artefact rather than a claim in a commit message. Set
 //! `BENCH_SMOKE=1` (CI does) to run a reduced-size smoke pass that proves
 //! the harness still works without producing publishable numbers.
+//!
+//! [`bench_fleet_trajectory`] does the same for the multi-user fleet
+//! subsystem (`gridstrat-fleet`), writing `BENCH_fleet.json` with the
+//! community-tasks-per-second throughput point.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridstrat_core::cost::StrategyParams;
@@ -155,10 +159,89 @@ fn bench_sweep_trajectory(_c: &mut Criterion) {
     }
 }
 
+// --- fleet trajectory ---------------------------------------------------------
+
+/// Measures the multi-user fleet workload (a `FleetSweep` cell grid) with
+/// the same plain wall-clock harness and writes `BENCH_fleet.json` at the
+/// workspace root: community tasks per second — the users·tasks throughput
+/// point every future fleet scaling PR is measured against. `BENCH_SMOKE=1`
+/// shrinks the workload and redirects the artefact under `target/`.
+fn bench_fleet_trajectory(_c: &mut Criterion) {
+    use gridstrat_core::executor::GridScenario as FleetScenario;
+    use gridstrat_fleet::{FleetConfig, FleetSweep, StrategyMix};
+
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let (users, tasks, reps_per_cell, reps) = if smoke {
+        (12usize, 2usize, 1usize, 3usize)
+    } else {
+        (40, 5, 3, 9)
+    };
+    let mut cfg = FleetConfig::small_farm(30);
+    cfg.tasks_per_user = tasks;
+    cfg.replications = reps_per_cell;
+    cfg.seed = 0xF1EE7;
+    let seed = cfg.seed;
+    let sweep = FleetSweep::new(
+        cfg,
+        vec![
+            StrategyMix::pure("all-single", StrategyParams::Single { t_inf: 3_000.0 }),
+            StrategyMix::pure(
+                "burst-2",
+                StrategyParams::Multiple {
+                    b: 2,
+                    t_inf: 3_000.0,
+                },
+            ),
+        ],
+        vec![users],
+        vec![FleetScenario::baseline()],
+    );
+    let tasks_per_run: usize = sweep.n_runs_total() * users * tasks;
+
+    black_box(sweep.run()); // warm-up
+    let mut secs: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(sweep.run());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = secs[secs.len() / 2];
+    let tasks_per_sec = tasks_per_run as f64 / median;
+
+    println!(
+        "fleet_trajectory/{}: {} community runs ({users} users x {tasks} tasks each) in \
+         {:.3} ms median -> {tasks_per_sec:.0} completed tasks/s",
+        if smoke { "smoke" } else { "full" },
+        sweep.n_runs_total(),
+        median * 1e3,
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"cells\": {cells},\n    \"replications_per_cell\": {reps_per_cell},\n    \"users\": {users},\n    \"tasks_per_user\": {tasks},\n    \"tasks_per_run\": {tasks_per_run},\n    \"seed\": {seed},\n    \"mode\": \"{mode}\"\n  }},\n  \"current\": {{\n    \"tasks_per_sec\": {tasks_per_sec},\n    \"median_run_secs\": {median},\n    \"reps\": {reps}\n  }}\n}}\n",
+        cells = sweep.n_cells(),
+        mode = if smoke { "smoke" } else { "full" },
+    );
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_fleet.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json")
+    };
+    match std::fs::write(path, json) {
+        Ok(()) => println!("fleet_trajectory: wrote {path}"),
+        Err(e) => println!("fleet_trajectory: could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_sweep_throughput,
     bench_sweep_single_cell_overhead,
-    bench_sweep_trajectory
+    bench_sweep_trajectory,
+    bench_fleet_trajectory
 );
 criterion_main!(benches);

@@ -23,7 +23,9 @@
 use crate::cost::StrategyParams;
 use crate::latency::ParametricModel;
 use crate::strategy::Strategy;
-use gridstrat_sim::{Controller, GridConfig, GridSimulation, JobId, Notification, SimDuration};
+use gridstrat_sim::{
+    Controller, GridConfig, GridSimulation, JobId, LatencyMode, Notification, SimDuration,
+};
 use gridstrat_stats::rng::derive_seed;
 use gridstrat_stats::Summary;
 use gridstrat_workload::{WeekId, WeekModel};
@@ -297,6 +299,37 @@ impl GridScenario {
             fault_scale,
             latency_scale,
         }
+    }
+
+    /// Applies the scenario to a full grid configuration — the overlay the
+    /// multi-user fleet layer sweeps over.
+    ///
+    /// * **Oracle** mode: the week model is rescaled via
+    ///   [`GridScenario::apply`].
+    /// * **Pipeline** mode: `latency_scale` multiplies every middleware hop
+    ///   delay (UI→WMS, match-making, dispatch, and a non-zero cancellation
+    ///   delay), and `fault_scale` multiplies both fault probabilities
+    ///   (clamped to `[0, 0.95]`).
+    /// * **Resample** mode: recorded latencies are left untouched; only the
+    ///   fault knobs would apply, and resample mode has none — the config
+    ///   passes through unchanged.
+    pub fn apply_grid(&self, cfg: &GridConfig) -> GridConfig {
+        let mut out = cfg.clone();
+        match &mut out.latency {
+            LatencyMode::Oracle(model) => *model = self.apply(model),
+            LatencyMode::Resample { .. } => {}
+            LatencyMode::Pipeline => {
+                out.wms.ui_to_wms_mean_s *= self.latency_scale;
+                out.wms.matchmaking_mean_s *= self.latency_scale;
+                out.wms.dispatch_mean_s *= self.latency_scale;
+                out.wms.cancellation_delay_mean_s *= self.latency_scale;
+                out.faults.p_silent_loss =
+                    (out.faults.p_silent_loss * self.fault_scale).clamp(0.0, 0.95);
+                out.faults.p_transient_failure =
+                    (out.faults.p_transient_failure * self.fault_scale).clamp(0.0, 0.95);
+            }
+        }
+        out
     }
 
     /// Applies the scenario to a calibrated week model.
@@ -1119,6 +1152,31 @@ mod tests {
         assert!(out.name.contains(":x"));
         // extreme fault scaling clamps below 1
         assert!(GridScenario::new("f", 100.0, 1.0).apply(&w).rho <= 0.9);
+    }
+
+    #[test]
+    fn grid_scenario_apply_grid_scales_pipeline_and_oracle() {
+        // pipeline: hop delays scale, fault probabilities scale and clamp
+        let base = GridConfig::pipeline_default();
+        let s = GridScenario::new("stress", 3.0, 2.0);
+        let out = s.apply_grid(&base);
+        assert!((out.wms.matchmaking_mean_s - base.wms.matchmaking_mean_s * 2.0).abs() < 1e-12);
+        assert!((out.wms.ui_to_wms_mean_s - base.wms.ui_to_wms_mean_s * 2.0).abs() < 1e-12);
+        assert!((out.faults.p_silent_loss - base.faults.p_silent_loss * 3.0).abs() < 1e-12);
+        let extreme = GridScenario::new("melt", 1000.0, 1.0).apply_grid(&base);
+        assert!(extreme.faults.p_silent_loss <= 0.95);
+        assert!(extreme.validate().is_ok(), "overlay must stay valid");
+
+        // oracle: delegates to the week-model overlay
+        let w = week();
+        let oracle = GridConfig::oracle(w.clone());
+        let out = GridScenario::new("x", 2.0, 1.25).apply_grid(&oracle);
+        match &out.latency {
+            gridstrat_sim::LatencyMode::Oracle(m) => {
+                assert!((m.rho - w.rho * 2.0).abs() < 1e-12);
+            }
+            other => panic!("latency mode changed: {other:?}"),
+        }
     }
 
     #[test]

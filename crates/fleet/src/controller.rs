@@ -1,0 +1,280 @@
+//! The fleet controller: multiplexes a whole community of user agents onto
+//! one shared [`GridSimulation`].
+//!
+//! Every agent wraps an ordinary strategy-built
+//! [`StrategyController`](gridstrat_core::executor::StrategyController) —
+//! the *same* controllers the single-user Monte-Carlo executors run — and
+//! the fleet routes engine notifications to the right agent using the
+//! engine's client-scope hooks:
+//!
+//! * job events are routed by the `owner` tag the engine stamped on the
+//!   job at submission time;
+//! * timer tokens are namespaced by the engine under the scope that was
+//!   active when the timer was armed, so two users' (or two tasks')
+//!   identical raw tokens can never collide;
+//! * the scope encodes `(user, task-epoch)`, so a stale timer or a
+//!   redundant copy surviving from an already-completed task is silently
+//!   dropped instead of corrupting the next task's protocol state.
+
+use crate::agent::{ArrivalProcess, Assignment, UserAgent};
+use crate::metrics::{FleetRun, UserOutcome};
+use crate::mix::MAX_USERS;
+use gridstrat_sim::{Controller, GridSimulation, JobId, Notification, SimDuration};
+
+/// Scope bit layout: `(user + 1) << 16 | epoch` — 16 bits of task epoch,
+/// 16 bits of (1-based) user index, all within the engine's 32-bit scope.
+const EPOCH_BITS: u32 = 16;
+const EPOCH_MASK: u64 = (1 << EPOCH_BITS) - 1;
+/// Reserved scope for the fleet's own task-arrival timers.
+const ARRIVAL_SCOPE: u64 = u32::MAX as u64;
+
+/// Encodes a `(user, epoch)` pair into an engine client scope.
+fn user_scope(user: usize, epoch: u64) -> u64 {
+    ((user as u64 + 1) << EPOCH_BITS) | (epoch & EPOCH_MASK)
+}
+
+/// Decodes an engine client scope back into `(user, epoch)`. Returns
+/// `None` for the unscoped value `0` and the reserved arrival scope.
+fn decode_user_scope(scope: u64) -> Option<(usize, u64)> {
+    if scope == 0 || scope == ARRIVAL_SCOPE {
+        return None;
+    }
+    let user = (scope >> EPOCH_BITS) as usize - 1;
+    Some((user, scope & EPOCH_MASK))
+}
+
+/// A community of users sharing one grid engine.
+///
+/// Implements [`Controller`], so it runs through the ordinary
+/// [`GridSimulation::run_controller`] loop; [`FleetController::collect`]
+/// turns the finished run into a [`FleetRun`] metrics record.
+pub struct FleetController {
+    agents: Vec<UserAgent>,
+    tasks_per_user: usize,
+    exec: SimDuration,
+    arrival: ArrivalProcess,
+    /// Job ids whose start completed a task (the "useful" starts; every
+    /// other client start burned a slot redundantly).
+    winners: Vec<JobId>,
+}
+
+impl FleetController {
+    /// Builds a fleet from one assignment per user.
+    ///
+    /// `fleet_seed` roots every user's private RNG stream
+    /// (`derive_seed(fleet_seed, user)` — see
+    /// [`crate::agent::user_stream_seed`]).
+    pub fn new(
+        assignments: &[Assignment],
+        tasks_per_user: usize,
+        task_exec_s: f64,
+        arrival: ArrivalProcess,
+        fleet_seed: u64,
+    ) -> Self {
+        assert!(!assignments.is_empty(), "a fleet needs at least one user");
+        assert!(
+            assignments.len() <= MAX_USERS,
+            "community size {} exceeds the {MAX_USERS}-user scope limit",
+            assignments.len()
+        );
+        assert!(
+            tasks_per_user as u64 <= EPOCH_MASK,
+            "tasks_per_user must fit in the 16-bit epoch field"
+        );
+        FleetController {
+            agents: assignments
+                .iter()
+                .enumerate()
+                .map(|(u, a)| UserAgent::new(u, *a, fleet_seed))
+                .collect(),
+            tasks_per_user,
+            exec: SimDuration::from_secs(task_exec_s),
+            arrival,
+            winners: Vec::new(),
+        }
+    }
+
+    /// Rewinds the fleet to the state `new` would construct it in (with
+    /// the given seed), keeping every allocation. A reset fleet drives a
+    /// run **bit-identically** to a fresh one — the property the sweep's
+    /// per-worker reuse relies on.
+    pub fn reset(&mut self, fleet_seed: u64) {
+        for (u, agent) in self.agents.iter_mut().enumerate() {
+            agent.reset(u, fleet_seed);
+        }
+        self.winners.clear();
+    }
+
+    /// Number of users in the community.
+    pub fn users(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Tasks completed so far across the whole community.
+    pub fn tasks_completed(&self) -> usize {
+        self.agents.iter().map(|a| a.tasks_done).sum()
+    }
+
+    fn arm_arrival(&mut self, sim: &mut GridSimulation, user: usize, delay_s: f64) {
+        sim.set_scope(ARRIVAL_SCOPE);
+        sim.set_timer(SimDuration::from_secs(delay_s), user as u64);
+        sim.set_scope(0);
+    }
+
+    /// Launches user `user`'s next task: rewinds the wrapped controller
+    /// and lets it open its protocol under the task's `(user, epoch)`
+    /// scope with the task's execution time as the default.
+    fn launch(&mut self, sim: &mut GridSimulation, user: usize) {
+        let exec = self.exec;
+        let agent = &mut self.agents[user];
+        debug_assert!(!agent.active, "launch while a task is in flight");
+        agent.epoch = agent.tasks_done as u64;
+        agent.active = true;
+        agent.task_started_s = sim.now().as_secs();
+        agent.ctrl.reset();
+        sim.set_scope(user_scope(user, agent.epoch));
+        sim.set_default_exec(exec);
+        agent.ctrl.start(sim);
+        sim.set_default_exec(SimDuration::ZERO);
+        sim.set_scope(0);
+    }
+
+    /// Routes one notification to the owning agent (if it is still about
+    /// the agent's *current* task) and handles task completion.
+    fn deliver(&mut self, sim: &mut GridSimulation, user: usize, epoch: u64, ev: Notification) {
+        let exec = self.exec;
+        let agent = &mut self.agents[user];
+        if !agent.active || agent.epoch != epoch {
+            return; // stale: an echo from an already-completed task
+        }
+        sim.set_scope(user_scope(user, epoch));
+        sim.set_default_exec(exec);
+        agent.ctrl.on_event(sim, ev);
+        sim.set_default_exec(SimDuration::ZERO);
+        sim.set_scope(0);
+        let Some(j_abs) = agent.ctrl.total_latency() else {
+            return;
+        };
+        // task complete: the wrapped controller reports the absolute start
+        // instant of the winning job; task latency is measured from launch
+        agent.latencies.push(j_abs - agent.task_started_s);
+        agent.active = false;
+        agent.tasks_done += 1;
+        let more = agent.tasks_done < self.tasks_per_user;
+        let delay = if more {
+            self.arrival.think_delay(&mut agent.rng)
+        } else {
+            0.0
+        };
+        if let Notification::JobStarted { id, .. } = ev {
+            self.winners.push(id);
+        }
+        if more {
+            self.arm_arrival(sim, user, delay);
+        }
+    }
+
+    /// Measures the finished run: per-user outcomes plus the engine-level
+    /// occupancy integrals the ecosystem metrics are computed from.
+    pub fn collect(&self, sim: &GridSimulation) -> FleetRun {
+        let makespan_s = sim.now().as_secs();
+        let mut useful_busy_s = 0.0;
+        let mut client_busy_s = 0.0;
+        let mut total_busy_s = 0.0;
+        let winners: std::collections::HashSet<JobId> = self.winners.iter().copied().collect();
+        for rec in sim.jobs() {
+            let Some(start) = rec.started_at else {
+                continue;
+            };
+            let end = rec
+                .terminated_at
+                .map_or(makespan_s, |t| t.as_secs())
+                .min(makespan_s);
+            let busy = (end - start.as_secs()).max(0.0);
+            total_busy_s += busy;
+            if matches!(rec.origin, gridstrat_sim::job::JobOrigin::Client) {
+                client_busy_s += busy;
+                if winners.contains(&rec.id) {
+                    useful_busy_s += busy;
+                }
+            }
+        }
+        let slots: usize = sim.config().sites.iter().map(|s| s.slots).sum();
+        FleetRun {
+            users: self
+                .agents
+                .iter()
+                .map(|a| UserOutcome {
+                    group: a.assignment.group,
+                    strategy: a.assignment.strategy,
+                    tasks_done: a.tasks_done,
+                    latencies: a.latencies.clone(),
+                })
+                .collect(),
+            tasks_per_user: self.tasks_per_user,
+            makespan_s,
+            client_submitted: sim.stats().client_submitted,
+            client_started: sim.stats().client_started,
+            useful_busy_s,
+            client_busy_s,
+            total_busy_s,
+            slot_capacity_s: slots as f64 * makespan_s,
+        }
+    }
+}
+
+impl Controller for FleetController {
+    fn start(&mut self, sim: &mut GridSimulation) {
+        for user in 0..self.agents.len() {
+            let d = self.arrival.initial_delay(&mut self.agents[user].rng);
+            self.arm_arrival(sim, user, d);
+        }
+    }
+
+    fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
+        match ev {
+            Notification::Timer { token, at } => {
+                let scope = token >> 32;
+                let inner = token & u32::MAX as u64;
+                if scope == ARRIVAL_SCOPE {
+                    self.launch(sim, inner as usize);
+                } else if let Some((user, epoch)) = decode_user_scope(scope) {
+                    self.deliver(sim, user, epoch, Notification::Timer { token: inner, at });
+                }
+            }
+            Notification::JobStarted { id, .. }
+            | Notification::JobFinished { id, .. }
+            | Notification::JobFailed { id, .. } => {
+                if let Some((user, epoch)) = decode_user_scope(sim.job(id).owner) {
+                    self.deliver(sim, user, epoch, ev);
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.agents
+            .iter()
+            .all(|a| a.tasks_done >= self.tasks_per_user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_roundtrip() {
+        for user in [0usize, 1, 41, 59_999] {
+            for epoch in [0u64, 1, 255, 65_535] {
+                let s = user_scope(user, epoch);
+                assert!(s <= u32::MAX as u64, "scope overflows 32 bits");
+                assert_ne!(s, 0);
+                assert_ne!(s, ARRIVAL_SCOPE);
+                assert_eq!(decode_user_scope(s), Some((user, epoch)));
+            }
+        }
+        assert_eq!(decode_user_scope(0), None);
+        assert_eq!(decode_user_scope(ARRIVAL_SCOPE), None);
+    }
+}

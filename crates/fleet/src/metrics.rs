@@ -1,0 +1,352 @@
+//! Ecosystem metrics: what the community as a whole experiences.
+//!
+//! A single-user Monte-Carlo estimate answers "what latency does *my*
+//! strategy get"; the fleet metrics answer the administrators' questions —
+//! how fairly is latency distributed across users, what fraction of the
+//! consumed compute was redundant burst copies, and how hot the farm ran.
+
+use gridstrat_core::cost::StrategyParams;
+use gridstrat_stats::{Ecdf, Summary};
+
+/// One user's outcome within a single community run.
+#[derive(Debug, Clone)]
+pub struct UserOutcome {
+    /// Reporting-group index (mix group or equilibrium candidate).
+    pub group: usize,
+    /// The strategy the user played.
+    pub strategy: StrategyParams,
+    /// Tasks the user completed before the run ended.
+    pub tasks_done: usize,
+    /// Measured task latencies (launch → first useful start), seconds.
+    pub latencies: Vec<f64>,
+}
+
+/// The raw record of one community replication, measured by
+/// [`crate::FleetController::collect`].
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Per-user outcomes, in user order.
+    pub users: Vec<UserOutcome>,
+    /// Tasks each user was asked to complete.
+    pub tasks_per_user: usize,
+    /// Simulated time at which the run ended, seconds.
+    pub makespan_s: f64,
+    /// Client (community) jobs submitted.
+    pub client_submitted: u64,
+    /// Client jobs that reached a worker slot.
+    pub client_started: u64,
+    /// Slot-seconds consumed by *useful* starts (the one start that
+    /// completed each task).
+    pub useful_busy_s: f64,
+    /// Slot-seconds consumed by all client starts.
+    pub client_busy_s: f64,
+    /// Slot-seconds consumed by all starts (client + background).
+    pub total_busy_s: f64,
+    /// Slot-seconds the farm offered over the run (`slots × makespan`).
+    pub slot_capacity_s: f64,
+}
+
+impl FleetRun {
+    /// Tasks completed across the community.
+    pub fn tasks_completed(&self) -> usize {
+        self.users.iter().map(|u| u.tasks_done).sum()
+    }
+
+    /// Client starts that burned a slot without completing a task
+    /// (redundant copies that won the cancellation race).
+    pub fn wasted_starts(&self) -> u64 {
+        self.client_started - self.tasks_completed() as u64
+    }
+
+    /// Fraction of the community's consumed slot-seconds that were
+    /// redundant (`0` when nothing ran).
+    pub fn slot_waste(&self) -> f64 {
+        if self.client_busy_s > 0.0 {
+            (self.client_busy_s - self.useful_busy_s) / self.client_busy_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Farm utilisation: busy slot-seconds over offered slot-seconds.
+    pub fn utilization(&self) -> f64 {
+        if self.slot_capacity_s > 0.0 {
+            self.total_busy_s / self.slot_capacity_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Jain fairness index over per-user mean latencies:
+    /// `(Σx)² / (n·Σx²)` — `1` when every user sees the same mean latency,
+    /// `1/n` when one user absorbs all of it. Users with no completed
+    /// task are excluded; returns `1.0` when fewer than two users qualify.
+    pub fn fairness(&self) -> f64 {
+        jain_index(
+            self.users
+                .iter()
+                .filter(|u| !u.latencies.is_empty())
+                .map(|u| u.latencies.iter().sum::<f64>() / u.latencies.len() as f64),
+        )
+    }
+
+    /// Mean task latency across every completed task, seconds.
+    pub fn mean_latency(&self) -> f64 {
+        let mut s = Summary::new();
+        for u in &self.users {
+            for &l in &u.latencies {
+                s.push(l);
+            }
+        }
+        s.mean()
+    }
+}
+
+/// Jain fairness index of an allocation stream.
+pub fn jain_index(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut n, mut sum, mut sumsq) = (0usize, 0.0f64, 0.0f64);
+    for x in xs {
+        n += 1;
+        sum += x;
+        sumsq += x * x;
+    }
+    if n < 2 || sumsq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sumsq)
+}
+
+/// Pooled per-group latency statistics across the replications of a cell.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Group index within the cell's mix.
+    pub group: usize,
+    /// The strategy the group plays.
+    pub strategy: StrategyParams,
+    /// Users per replication in this group.
+    pub users: usize,
+    /// Tasks completed, summed over replications.
+    pub tasks_completed: usize,
+    /// Latency summary pooled over users, tasks and replications.
+    pub latency: Summary,
+    /// The pooled latencies themselves, sorted ascending (for ECDFs /
+    /// quantiles).
+    pub latencies: Vec<f64>,
+}
+
+impl GroupReport {
+    /// Empirical CDF of the group's task latencies (no censoring).
+    pub fn ecdf(&self) -> Option<Ecdf> {
+        Ecdf::from_samples(&self.latencies, f64::INFINITY).ok()
+    }
+
+    /// The `p`-quantile of the group's task latencies (pooled; O(1) —
+    /// the latencies are kept sorted).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
+        if self.latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((self.latencies.len() as f64 - 1.0) * p).round() as usize;
+        self.latencies[idx]
+    }
+}
+
+/// Aggregated outcome of one sweep cell (mix × community size × scenario),
+/// averaged over its replications.
+#[derive(Debug, Clone)]
+pub struct FleetCellOutcome {
+    /// Mix label.
+    pub mix: String,
+    /// Community size.
+    pub users: usize,
+    /// Grid-scenario label.
+    pub scenario: String,
+    /// Replications aggregated.
+    pub replications: usize,
+    /// Per-group pooled latency reports.
+    pub groups: Vec<GroupReport>,
+    /// Mean task latency pooled over everything, seconds.
+    pub mean_latency: f64,
+    /// Mean Jain fairness across replications.
+    pub fairness: f64,
+    /// Mean redundant-slot-waste fraction across replications.
+    pub slot_waste: f64,
+    /// Mean farm utilisation across replications.
+    pub utilization: f64,
+    /// Mean makespan across replications, seconds.
+    pub makespan_s: f64,
+    /// Tasks completed, summed over replications.
+    pub tasks_completed: usize,
+    /// Tasks requested, summed over replications.
+    pub tasks_total: usize,
+    /// Client submissions, summed over replications.
+    pub submissions: u64,
+    /// Wasted starts, summed over replications.
+    pub wasted_starts: u64,
+}
+
+impl FleetCellOutcome {
+    /// Aggregates the replications of one cell (reps must be non-empty and
+    /// share the same population shape).
+    pub fn aggregate(
+        mix: impl Into<String>,
+        users: usize,
+        scenario: impl Into<String>,
+        reps: &[FleetRun],
+    ) -> Self {
+        assert!(!reps.is_empty(), "cannot aggregate zero replications");
+        let n_groups = reps[0].users.iter().map(|u| u.group + 1).max().unwrap_or(0);
+        let mut groups: Vec<GroupReport> = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            let mut latency = Summary::new();
+            let mut latencies = Vec::new();
+            let mut tasks_completed = 0usize;
+            let mut members = 0usize;
+            let mut strategy = None;
+            for (r, rep) in reps.iter().enumerate() {
+                for u in rep.users.iter().filter(|u| u.group == g) {
+                    if r == 0 {
+                        members += 1;
+                    }
+                    strategy.get_or_insert(u.strategy);
+                    tasks_completed += u.tasks_done;
+                    for &l in &u.latencies {
+                        latency.push(l);
+                        latencies.push(l);
+                    }
+                }
+            }
+            // apportionment can leave a group with zero users at small
+            // community sizes (e.g. weights [0.5, 0.2, 0.3] over 2 users);
+            // such groups simply have nothing to report
+            let Some(strategy) = strategy else { continue };
+            latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            groups.push(GroupReport {
+                group: g,
+                strategy,
+                users: members,
+                tasks_completed,
+                latency,
+                latencies,
+            });
+        }
+        let mean = |f: fn(&FleetRun) -> f64| reps.iter().map(f).sum::<f64>() / reps.len() as f64;
+        let mut pooled = Summary::new();
+        for rep in reps {
+            for u in &rep.users {
+                for &l in &u.latencies {
+                    pooled.push(l);
+                }
+            }
+        }
+        FleetCellOutcome {
+            mix: mix.into(),
+            users,
+            scenario: scenario.into(),
+            replications: reps.len(),
+            groups,
+            mean_latency: pooled.mean(),
+            fairness: mean(FleetRun::fairness),
+            slot_waste: mean(FleetRun::slot_waste),
+            utilization: mean(FleetRun::utilization),
+            makespan_s: mean(|r| r.makespan_s),
+            tasks_completed: reps.iter().map(FleetRun::tasks_completed).sum(),
+            tasks_total: reps.iter().map(|r| r.users.len() * r.tasks_per_user).sum(),
+            submissions: reps.iter().map(|r| r.client_submitted).sum(),
+            wasted_starts: reps.iter().map(FleetRun::wasted_starts).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with(latencies: Vec<Vec<f64>>) -> FleetRun {
+        FleetRun {
+            users: latencies
+                .into_iter()
+                .map(|l| UserOutcome {
+                    group: 0,
+                    strategy: StrategyParams::Single { t_inf: 700.0 },
+                    tasks_done: l.len(),
+                    latencies: l,
+                })
+                .collect(),
+            tasks_per_user: 2,
+            makespan_s: 1000.0,
+            client_submitted: 10,
+            client_started: 6,
+            useful_busy_s: 300.0,
+            client_busy_s: 400.0,
+            total_busy_s: 800.0,
+            slot_capacity_s: 2000.0,
+        }
+    }
+
+    #[test]
+    fn jain_index_known_values() {
+        assert!((jain_index([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // one user absorbs everything: 1/n
+        assert!((jain_index([1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // textbook example: (1+2+3)^2 / (3 * 14)
+        assert!((jain_index([1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
+        assert_eq!(jain_index([5.0]), 1.0);
+        assert_eq!(jain_index([]), 1.0);
+    }
+
+    #[test]
+    fn run_metrics() {
+        let r = run_with(vec![vec![100.0, 200.0], vec![150.0, 150.0]]);
+        assert_eq!(r.tasks_completed(), 4);
+        assert_eq!(r.wasted_starts(), 2);
+        assert!((r.slot_waste() - 0.25).abs() < 1e-12);
+        assert!((r.utilization() - 0.4).abs() < 1e-12);
+        // both users have mean 150 -> perfectly fair
+        assert!((r.fairness() - 1.0).abs() < 1e-12);
+        assert!((r.mean_latency() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_excludes_empty_users() {
+        let r = run_with(vec![vec![100.0], vec![]]);
+        assert_eq!(
+            r.fairness(),
+            1.0,
+            "single qualifying user is trivially fair"
+        );
+    }
+
+    #[test]
+    fn aggregate_skips_empty_middle_groups() {
+        // apportionment can produce counts like [1, 0, 1]: group 1 has no
+        // members and must be skipped, not panicked over
+        let mut r = run_with(vec![vec![100.0], vec![200.0]]);
+        r.users[1].group = 2;
+        let cell = FleetCellOutcome::aggregate("m", 2, "baseline", &[r]);
+        assert_eq!(cell.groups.len(), 2);
+        assert_eq!(cell.groups[0].group, 0);
+        assert_eq!(cell.groups[1].group, 2);
+        assert_eq!(cell.groups[1].users, 1);
+    }
+
+    #[test]
+    fn aggregate_pools_groups() {
+        let reps = vec![
+            run_with(vec![vec![100.0], vec![200.0]]),
+            run_with(vec![vec![300.0], vec![400.0]]),
+        ];
+        let cell = FleetCellOutcome::aggregate("m", 2, "baseline", &reps);
+        assert_eq!(cell.replications, 2);
+        assert_eq!(cell.groups.len(), 1);
+        assert_eq!(cell.groups[0].users, 2);
+        assert_eq!(cell.groups[0].tasks_completed, 4);
+        assert!((cell.mean_latency - 250.0).abs() < 1e-12);
+        assert_eq!(cell.tasks_total, 8);
+        assert_eq!(cell.submissions, 20);
+        let e = cell.groups[0].ecdf().expect("non-empty group");
+        assert_eq!(e.n_total(), 4);
+        assert!((cell.groups[0].quantile(1.0) - 400.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,309 @@
+//! Population descriptions: weighted strategy mixes and the shared fleet
+//! configuration a sweep cell is instantiated from.
+
+use crate::agent::{ArrivalProcess, Assignment};
+use gridstrat_core::cost::StrategyParams;
+use gridstrat_core::strategy::DelayedResubmission;
+use gridstrat_sim::{GridConfig, SiteConfig};
+
+/// Maximum community size one fleet engine supports (bounded by the
+/// 16-bit user field of the scope encoding in [`crate::controller`]).
+pub const MAX_USERS: usize = 60_000;
+
+/// One component of a [`StrategyMix`]: a strategy instance and the
+/// fraction of the community playing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyGroup {
+    /// The strategy every user of this group executes.
+    pub strategy: StrategyParams,
+    /// Relative weight (need not be normalised; must be non-negative).
+    pub weight: f64,
+}
+
+/// A heterogeneous population: named fractions of single / multiple /
+/// delayed users, each with its own parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyMix {
+    /// Mix label (appears in sweep outcomes and report tables).
+    pub name: String,
+    /// The component groups.
+    pub groups: Vec<StrategyGroup>,
+}
+
+impl StrategyMix {
+    /// A mix with explicit weights; weights must be non-negative with a
+    /// positive sum.
+    pub fn new(name: impl Into<String>, groups: Vec<StrategyGroup>) -> Self {
+        let mix = StrategyMix {
+            name: name.into(),
+            groups,
+        };
+        mix.validate().expect("valid strategy mix");
+        mix
+    }
+
+    /// The homogeneous mix: everyone plays `strategy`.
+    pub fn pure(name: impl Into<String>, strategy: StrategyParams) -> Self {
+        StrategyMix::new(
+            name,
+            vec![StrategyGroup {
+                strategy,
+                weight: 1.0,
+            }],
+        )
+    }
+
+    /// Checks weights and strategy feasibility.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.groups.is_empty() {
+            return Err("a strategy mix needs at least one group".into());
+        }
+        let mut total = 0.0;
+        for (i, g) in self.groups.iter().enumerate() {
+            if !(g.weight.is_finite() && g.weight >= 0.0) {
+                return Err(format!("group {i}: weight must be >= 0, got {}", g.weight));
+            }
+            total += g.weight;
+            if let StrategyParams::Delayed { t0, t_inf }
+            | StrategyParams::DelayedMultiple { t0, t_inf, .. } = g.strategy
+            {
+                if !DelayedResubmission::feasible(t0, t_inf) {
+                    return Err(format!(
+                        "group {i}: infeasible delayed pair ({t0}, {t_inf})"
+                    ));
+                }
+            }
+        }
+        if total <= 0.0 || !total.is_finite() {
+            return Err("mix weights must sum to a positive value".into());
+        }
+        Ok(())
+    }
+
+    /// Number of users of each group in a community of `users`, by
+    /// largest-remainder apportionment (deterministic; ties broken by
+    /// group index, so the same mix always yields the same counts).
+    pub fn counts(&self, users: usize) -> Vec<usize> {
+        let total: f64 = self.groups.iter().map(|g| g.weight).sum();
+        let quotas: Vec<f64> = self
+            .groups
+            .iter()
+            .map(|g| users as f64 * g.weight / total)
+            .collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let assigned: usize = counts.iter().sum();
+        // hand the remaining seats to the largest fractional remainders
+        let mut order: Vec<usize> = (0..self.groups.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = quotas[a] - quotas[a].floor();
+            let rb = quotas[b] - quotas[b].floor();
+            rb.partial_cmp(&ra)
+                .expect("finite remainders")
+                .then(a.cmp(&b))
+        });
+        for &g in order.iter().take(users - assigned) {
+            counts[g] += 1;
+        }
+        counts
+    }
+
+    /// Expands the mix into one [`Assignment`] per user (group-major
+    /// blocks, deterministic).
+    pub fn assignments(&self, users: usize) -> Vec<Assignment> {
+        let counts = self.counts(users);
+        let mut out = Vec::with_capacity(users);
+        for (group, (g, &n)) in self.groups.iter().zip(&counts).enumerate() {
+            out.extend(std::iter::repeat_n(
+                Assignment {
+                    strategy: g.strategy,
+                    group,
+                },
+                n,
+            ));
+        }
+        out
+    }
+}
+
+/// The per-cell-invariant part of a fleet experiment: the shared farm, the
+/// per-user workload shape, and the Monte-Carlo bookkeeping. Community
+/// size, strategy mix and grid scenario are supplied per run (they are the
+/// sweep axes).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The shared grid (must be pipeline mode — the whole point is that
+    /// the community's jobs contend for the same slots).
+    pub grid: GridConfig,
+    /// Tasks every user must complete.
+    pub tasks_per_user: usize,
+    /// Execution time one task holds a worker slot for, seconds.
+    pub task_exec_s: f64,
+    /// Task-arrival process of every user.
+    pub arrival: ArrivalProcess,
+    /// Independent community replications per sweep cell.
+    pub replications: usize,
+    /// Master seed of the whole experiment.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A scarce shared farm of `slots` worker slots with EGEE-like
+    /// middleware delays, a ~1-minute cancellation round-trip (so
+    /// redundant burst copies can start anyway — the waste mechanism),
+    /// mild silent loss, and no non-community background traffic.
+    pub fn small_farm(slots: usize) -> Self {
+        let mut grid = GridConfig::pipeline_default();
+        grid.sites = vec![SiteConfig {
+            name: "shared-farm".into(),
+            slots,
+            weight: 1.0,
+        }];
+        grid.background = None;
+        grid.faults.p_silent_loss = 0.03;
+        grid.faults.p_transient_failure = 0.0;
+        grid.wms.cancellation_delay_mean_s = 60.0;
+        FleetConfig {
+            grid,
+            tasks_per_user: 5,
+            task_exec_s: 600.0,
+            arrival: ArrivalProcess::BackToBack,
+            replications: 3,
+            seed: 0xF1EE7,
+        }
+    }
+
+    /// Validates the configuration (pipeline grid, sane workload shape).
+    pub fn validate(&self) -> Result<(), String> {
+        self.grid.validate()?;
+        if !matches!(self.grid.latency, gridstrat_sim::LatencyMode::Pipeline) {
+            return Err("fleet experiments require a pipeline-mode grid".into());
+        }
+        if self.tasks_per_user == 0 {
+            return Err("tasks_per_user must be at least 1".into());
+        }
+        if !(self.task_exec_s.is_finite() && self.task_exec_s >= 0.0) {
+            return Err(format!(
+                "task_exec_s must be >= 0, got {}",
+                self.task_exec_s
+            ));
+        }
+        if self.replications == 0 {
+            return Err("at least one replication is required".into());
+        }
+        self.arrival.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t_inf: f64) -> StrategyParams {
+        StrategyParams::Single { t_inf }
+    }
+
+    #[test]
+    fn counts_apportion_exactly() {
+        let mix = StrategyMix::new(
+            "m",
+            vec![
+                StrategyGroup {
+                    strategy: s(700.0),
+                    weight: 1.0,
+                },
+                StrategyGroup {
+                    strategy: StrategyParams::Multiple { b: 2, t_inf: 800.0 },
+                    weight: 1.0,
+                },
+                StrategyGroup {
+                    strategy: StrategyParams::Delayed {
+                        t0: 400.0,
+                        t_inf: 560.0,
+                    },
+                    weight: 1.0,
+                },
+            ],
+        );
+        for users in [1usize, 2, 3, 7, 40, 100] {
+            let counts = mix.counts(users);
+            assert_eq!(counts.iter().sum::<usize>(), users, "users {users}");
+        }
+        // exact thirds
+        assert_eq!(mix.counts(9), vec![3, 3, 3]);
+        // largest remainder: 7/3 = 2.33 each, first ties win the extra seat
+        assert_eq!(mix.counts(7), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn assignments_are_group_major() {
+        let mix = StrategyMix::new(
+            "m",
+            vec![
+                StrategyGroup {
+                    strategy: s(700.0),
+                    weight: 3.0,
+                },
+                StrategyGroup {
+                    strategy: s(900.0),
+                    weight: 1.0,
+                },
+            ],
+        );
+        let a = mix.assignments(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].group, 0);
+        assert_eq!(a[2].group, 0);
+        assert_eq!(a[3].group, 1);
+        assert_eq!(a[3].strategy, s(900.0));
+    }
+
+    #[test]
+    fn pure_mix_is_one_group() {
+        let m = StrategyMix::pure("all-single", s(700.0));
+        assert_eq!(m.counts(11), vec![11]);
+    }
+
+    #[test]
+    fn rejects_bad_mixes() {
+        assert!(StrategyMix {
+            name: "empty".into(),
+            groups: vec![]
+        }
+        .validate()
+        .is_err());
+        assert!(StrategyMix {
+            name: "zero".into(),
+            groups: vec![StrategyGroup {
+                strategy: s(700.0),
+                weight: 0.0
+            }]
+        }
+        .validate()
+        .is_err());
+        assert!(StrategyMix {
+            name: "infeasible".into(),
+            groups: vec![StrategyGroup {
+                strategy: StrategyParams::Delayed {
+                    t0: 100.0,
+                    t_inf: 50.0
+                },
+                weight: 1.0
+            }]
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn small_farm_config_validates() {
+        assert!(FleetConfig::small_farm(30).validate().is_ok());
+        let mut bad = FleetConfig::small_farm(30);
+        bad.tasks_per_user = 0;
+        assert!(bad.validate().is_err());
+        let mut oracle = FleetConfig::small_farm(30);
+        oracle.grid = GridConfig::oracle(
+            gridstrat_workload::WeekModel::calibrate("w", 500.0, 700.0, 0.1, 50.0, 1e4).unwrap(),
+        );
+        assert!(oracle.validate().is_err(), "oracle grids must be rejected");
+    }
+}

@@ -128,6 +128,11 @@ pub struct GridSimulation {
     rng: StdRng,
     notifications: VecDeque<Notification>,
     stats: EngineStats,
+    /// Active client scope: owner tag for submissions and namespace for
+    /// timer tokens. `0` = unscoped (single-owner legacy behaviour).
+    scope: u64,
+    /// Execution time applied by [`GridSimulation::submit`] while set.
+    default_exec: SimDuration,
 }
 
 impl GridSimulation {
@@ -150,6 +155,8 @@ impl GridSimulation {
             rng: StdRng::seed_from_u64(seed),
             notifications: VecDeque::new(),
             stats: EngineStats::default(),
+            scope: 0,
+            default_exec: SimDuration::ZERO,
         };
         if sim.cfg.background.is_some() {
             sim.schedule_next_background_arrival();
@@ -176,6 +183,8 @@ impl GridSimulation {
         self.rng = StdRng::seed_from_u64(seed);
         self.notifications.clear();
         self.stats = EngineStats::default();
+        self.scope = 0;
+        self.default_exec = SimDuration::ZERO;
         if self.cfg.background.is_some() {
             self.schedule_next_background_arrival();
         }
@@ -206,16 +215,61 @@ impl GridSimulation {
         self.stats
     }
 
-    /// Submits a client job with zero execution time (a probe).
+    /// Sets the active client **scope** — the multi-owner routing hook.
+    ///
+    /// While a non-zero scope is active:
+    ///
+    /// * every submitted client job carries the scope in its
+    ///   [`JobRecord::owner`] field, so a multiplexing controller can route
+    ///   job notifications back to the agent that submitted them;
+    /// * timer tokens are namespaced: [`GridSimulation::set_timer`] stores
+    ///   `scope << 32 | token` (the raw token must fit in 32 bits), and the
+    ///   resulting [`Notification::Timer`] carries the namespaced value —
+    ///   so independently-written controllers sharing one engine can never
+    ///   collide on timer tokens.
+    ///
+    /// Scope `0` restores the single-owner legacy behaviour (tokens pass
+    /// through untouched, owners are `0`). Scopes must fit in 32 bits.
+    /// [`GridSimulation::reset`] clears the scope.
+    pub fn set_scope(&mut self, scope: u64) {
+        assert!(scope <= u32::MAX as u64, "client scope must fit in 32 bits");
+        self.scope = scope;
+    }
+
+    /// The active client scope (`0` when unscoped).
+    pub fn scope(&self) -> u64 {
+        self.scope
+    }
+
+    /// Sets the execution time applied by [`GridSimulation::submit`].
+    ///
+    /// Submission-strategy controllers call `submit()` (historically a
+    /// zero-execution probe); a multi-user layer sets this before
+    /// delegating to them so every job of the wrapped protocol holds a
+    /// worker slot for the task's execution time — the mechanism by which
+    /// one user's redundant copies degrade everyone else's latency.
+    /// Cleared by [`GridSimulation::reset`].
+    pub fn set_default_exec(&mut self, exec: SimDuration) {
+        self.default_exec = exec;
+    }
+
+    /// The execution time currently applied by [`GridSimulation::submit`].
+    pub fn default_exec(&self) -> SimDuration {
+        self.default_exec
+    }
+
+    /// Submits a client job with the default execution time (zero unless
+    /// overridden via [`GridSimulation::set_default_exec`] — i.e. a probe).
     pub fn submit(&mut self) -> JobId {
-        self.submit_with_exec(SimDuration::ZERO)
+        self.submit_with_exec(self.default_exec)
     }
 
     /// Submits a client job that will hold its slot for `exec` once started.
     pub fn submit_with_exec(&mut self, exec: SimDuration) -> JobId {
         let id = JobId(self.jobs.len() as u64);
-        self.jobs
-            .push(JobRecord::new(id, JobOrigin::Client, self.now));
+        let mut rec = JobRecord::new(id, JobOrigin::Client, self.now);
+        rec.owner = self.scope;
+        self.jobs.push(rec);
         self.exec_times.push(exec);
         self.stats.client_submitted += 1;
         self.route_submission(id);
@@ -255,9 +309,21 @@ impl GridSimulation {
         }
     }
 
-    /// Arms a timer; a [`Notification::Timer`] with `token` fires after
-    /// `delay`.
+    /// Arms a timer; a [`Notification::Timer`] fires after `delay`.
+    ///
+    /// With scope `0` the notification carries `token` verbatim. Under an
+    /// active client scope (see [`GridSimulation::set_scope`]) the token is
+    /// namespaced to `scope << 32 | token` and must fit in 32 bits.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let token = if self.scope == 0 {
+            token
+        } else {
+            assert!(
+                token <= u32::MAX as u64,
+                "timer tokens must fit in 32 bits while a client scope is active"
+            );
+            self.scope << 32 | token
+        };
         self.queue
             .schedule(self.now.after(delay), EventKind::Timer { token });
     }
@@ -713,6 +779,89 @@ mod tests {
         assert_eq!(ctrl.deadline_tokens, 0, "stale timer leaked through reset");
         assert_eq!(sim.stats().client_submitted, 10);
         assert_eq!(sim.jobs().len(), 10, "stale job records leaked");
+    }
+
+    #[test]
+    fn scope_tags_owners_and_namespaces_timers() {
+        struct TwoOwners {
+            tokens: Vec<u64>,
+        }
+        impl Controller for TwoOwners {
+            fn start(&mut self, sim: &mut GridSimulation) {
+                sim.set_scope(7);
+                sim.submit();
+                sim.set_timer(SimDuration::from_secs(1.0), 3);
+                sim.set_scope(9);
+                sim.submit();
+                sim.set_timer(SimDuration::from_secs(2.0), 3);
+                sim.set_scope(0);
+                sim.submit();
+                sim.set_timer(SimDuration::from_secs(3.0), 3);
+            }
+            fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
+                if let Notification::Timer { token, .. } = ev {
+                    self.tokens.push(token);
+                }
+            }
+            fn done(&self) -> bool {
+                self.tokens.len() == 3
+            }
+        }
+        let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.0)), 12).unwrap();
+        let mut ctrl = TwoOwners { tokens: Vec::new() };
+        sim.run_controller(&mut ctrl);
+        // same raw token, three distinct namespaced deliveries in arm order
+        assert_eq!(ctrl.tokens, vec![7 << 32 | 3, 9 << 32 | 3, 3]);
+        let owners: Vec<u64> = sim.jobs().iter().map(|r| r.owner).collect();
+        assert_eq!(owners, vec![7, 9, 0]);
+    }
+
+    #[test]
+    fn default_exec_applies_to_plain_submit() {
+        struct OneJob {
+            finished_at: Option<f64>,
+        }
+        impl Controller for OneJob {
+            fn start(&mut self, sim: &mut GridSimulation) {
+                sim.set_default_exec(SimDuration::from_secs(500.0));
+                sim.submit();
+            }
+            fn on_event(&mut self, _sim: &mut GridSimulation, ev: Notification) {
+                if let Notification::JobFinished { at, .. } = ev {
+                    self.finished_at = Some(at.as_secs());
+                }
+            }
+            fn done(&self) -> bool {
+                self.finished_at.is_some()
+            }
+        }
+        let mut cfg = GridConfig::pipeline_default();
+        cfg.faults.p_silent_loss = 0.0;
+        cfg.faults.p_transient_failure = 0.0;
+        cfg.background = None;
+        let mut sim = GridSimulation::new(cfg, 13).unwrap();
+        let mut ctrl = OneJob { finished_at: None };
+        sim.run_controller(&mut ctrl);
+        let rec = &sim.jobs()[0];
+        let held = rec.terminated_at.unwrap().since(rec.started_at.unwrap());
+        assert!(
+            (held.as_secs() - 500.0).abs() < 1e-9,
+            "job held its slot {} s",
+            held.as_secs()
+        );
+        // reset clears both hooks
+        sim.set_scope(4);
+        sim.reset(13);
+        assert_eq!(sim.scope(), 0);
+        assert_eq!(sim.default_exec(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "32 bits")]
+    fn scoped_timer_rejects_wide_tokens() {
+        let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.0)), 14).unwrap();
+        sim.set_scope(1);
+        sim.set_timer(SimDuration::from_secs(1.0), 1 << 33);
     }
 
     #[test]

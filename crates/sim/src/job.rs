@@ -82,6 +82,12 @@ pub struct JobRecord {
     pub id: JobId,
     /// Client or background.
     pub origin: JobOrigin,
+    /// Owner tag: the client scope that was active when the job was
+    /// submitted (see [`crate::engine::GridSimulation::set_scope`]).
+    /// `0` for unscoped submissions and background traffic. Multi-user
+    /// layers (the `gridstrat-fleet` crate) use this to route job
+    /// notifications back to the submitting agent.
+    pub owner: u64,
     /// Current state.
     pub state: JobState,
     /// Submission instant.
@@ -100,6 +106,7 @@ impl JobRecord {
         JobRecord {
             id,
             origin,
+            owner: 0,
             state: JobState::Submitted,
             submitted_at,
             site: None,

@@ -27,8 +27,11 @@
 //!   Monte-Carlo runs validate the closed forms to statistical precision.
 //! * **Pipeline** — latency *emerges* from match-making delays, queue waits
 //!   behind background jobs, and fault/retry behaviour. This regime powers
-//!   the ecosystem experiments (e.g. every user adopting multi-submission)
-//!   the paper lists as future work.
+//!   the multi-user ecosystem experiments (e.g. every user adopting
+//!   multi-submission) the paper lists as future work — see the
+//!   `gridstrat-fleet` crate, which multiplexes whole user populations
+//!   onto one pipeline engine via the client-scope routing hooks
+//!   ([`GridSimulation::set_scope`](engine::GridSimulation::set_scope)).
 //!
 //! ## Architecture
 //!
@@ -38,7 +41,9 @@
 //! * [`config`] — grid topology, fault, background-load and latency-mode
 //!   configuration;
 //! * [`engine`] — the [`GridSimulation`] event loop and the [`Controller`]
-//!   trait through which client-side submission strategies drive it;
+//!   trait through which client-side submission strategies drive it, plus
+//!   the multi-owner routing hooks (client scopes, owner-tagged jobs,
+//!   namespaced timers) that let many independent agents share one engine;
 //! * [`probe`] — the constant-probes-in-flight measurement harness of §3.2,
 //!   producing [`gridstrat_workload::TraceSet`]s.
 

@@ -7,175 +7,215 @@
 //!
 //! The analytic models assume redundant jobs do not measurably change the
 //! grid workload (§3.3) — reasonable for one user on an 80 000-core
-//! infrastructure, but false if the whole community bursts. Here a
-//! community of users shares a small simulated farm (pipeline mode, no
-//! other background traffic); each user runs a stream of tasks under
-//! `b`-fold multiple submission. Redundant copies that manage to start
-//! before the cancellation race resolves burn worker slots for their full
-//! execution time, so raising `b` degrades everyone's latency — exactly the
-//! administrators' complaint the paper cites.
+//! infrastructure, false if the whole community bursts. Here
+//! `gridstrat-fleet` shares a scarce simulated farm among a community of
+//! users; redundant burst copies that start before their cancellation
+//! lands burn worker slots for their full execution time, so raising `b`
+//! degrades everyone's latency — exactly the administrators' complaint
+//! the paper cites.
+//!
+//! Three stages, all bit-identical for any thread count:
+//!
+//! 1. the classic single-mix scan (everyone bursts with `b = 1, 2, 4`);
+//! 2. a [`FleetSweep`] over 3 community sizes × 3 strategy mixes × 2 grid
+//!    scenarios reporting fairness, slot waste and per-strategy latency;
+//! 3. a best-response loop searching for the equilibrium mix: is b-fold
+//!    multiple submission a Nash equilibrium, and at what community size
+//!    does it stop paying?
 
 use gridstrat::prelude::*;
-use std::collections::HashMap;
 
-/// One user community sharing the farm; every user repeats `tasks` rounds
-/// of `b`-fold burst submission with timeout `t_inf`.
-struct Community {
-    users: usize,
-    tasks_per_user: usize,
-    b: u32,
-    t_inf: SimDuration,
-    exec: SimDuration,
-    // per-user state
-    round_jobs: Vec<Vec<JobId>>,
-    round_seq: Vec<u64>,
-    round_started_at: Vec<SimTime>,
-    tasks_done: Vec<usize>,
-    job_owner: HashMap<JobId, usize>,
-    /// measured grid latency of every completed task
-    latencies: Vec<f64>,
+const T_INF: f64 = 3_000.0;
+
+fn base_config() -> FleetConfig {
+    // a scarce farm: fewer slots than users, so the community saturates
+    // it; cancels are WMS round-trips (~1 min before they land)
+    let mut cfg = FleetConfig::small_farm(30);
+    cfg.tasks_per_user = 5;
+    cfg.task_exec_s = 600.0;
+    cfg.replications = 3;
+    cfg.seed = 0xEC0;
+    cfg
 }
 
-impl Community {
-    fn new(users: usize, tasks_per_user: usize, b: u32, t_inf: f64, exec: f64) -> Self {
-        Community {
-            users,
-            tasks_per_user,
-            b,
-            t_inf: SimDuration::from_secs(t_inf),
-            exec: SimDuration::from_secs(exec),
-            round_jobs: vec![Vec::new(); users],
-            round_seq: vec![0; users],
-            round_started_at: vec![SimTime::ZERO; users],
-            tasks_done: vec![0; users],
-            job_owner: HashMap::new(),
-            latencies: Vec::new(),
-        }
-    }
-
-    /// token = user * 2^32 + per-user round sequence number
-    fn token(&self, user: usize) -> u64 {
-        (user as u64) << 32 | self.round_seq[user]
-    }
-
-    fn launch_round(&mut self, sim: &mut GridSimulation, user: usize, fresh_task: bool) {
-        if fresh_task {
-            self.round_started_at[user] = sim.now();
-        }
-        self.round_jobs[user].clear();
-        for _ in 0..self.b {
-            let id = sim.submit_with_exec(self.exec);
-            self.round_jobs[user].push(id);
-            self.job_owner.insert(id, user);
-        }
-        sim.set_timer(self.t_inf, self.token(user));
-    }
-}
-
-impl Controller for Community {
-    fn start(&mut self, sim: &mut GridSimulation) {
-        for user in 0..self.users {
-            self.launch_round(sim, user, true);
-        }
-    }
-
-    fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
-        match ev {
-            Notification::JobStarted { id, at } => {
-                let Some(&user) = self.job_owner.get(&id) else {
-                    return;
-                };
-                if !self.round_jobs[user].contains(&id) {
-                    return; // a stale copy started after its round ended: wasted slot
-                }
-                // task completes (latency-wise) at first start
-                self.latencies
-                    .push(at.since(self.round_started_at[user]).as_secs());
-                let siblings: Vec<JobId> = self.round_jobs[user]
-                    .iter()
-                    .copied()
-                    .filter(|&o| o != id)
-                    .collect();
-                for o in siblings {
-                    sim.cancel(o); // no-op if the copy already started
-                }
-                self.round_jobs[user].clear();
-                self.round_seq[user] += 1;
-                self.tasks_done[user] += 1;
-                if self.tasks_done[user] < self.tasks_per_user {
-                    self.launch_round(sim, user, true);
-                }
-            }
-            Notification::Timer { token, .. } => {
-                let user = (token >> 32) as usize;
-                let seq = token & 0xFFFF_FFFF;
-                if user < self.users
-                    && seq == self.round_seq[user]
-                    && !self.round_jobs[user].is_empty()
-                {
-                    // round timed out: cancel and resubmit the burst
-                    for &o in &self.round_jobs[user].clone() {
-                        sim.cancel(o);
-                    }
-                    self.round_seq[user] += 1;
-                    self.launch_round(sim, user, false);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn done(&self) -> bool {
-        self.tasks_done.iter().all(|&d| d >= self.tasks_per_user)
-    }
+fn burst_mix(b: u32) -> StrategyMix {
+    StrategyMix::pure(
+        format!("burst-{b}"),
+        StrategyParams::Multiple { b, t_inf: T_INF },
+    )
 }
 
 fn main() {
-    const USERS: usize = 40;
-    const TASKS: usize = 5;
+    let cfg = base_config();
+
+    // --- stage 1: the classic scan — everyone bursts harder --------------
     println!(
-        "community of {USERS} users × {TASKS} tasks on a 30-slot shared farm; every \
-         user uses b-fold burst submission (copies run 600 s once started, cancels \
-         take ~1 min to land)\n"
+        "community of 40 users x {} tasks on a 30-slot shared farm; every user\n\
+         uses b-fold burst submission (copies run 600 s once started, cancels\n\
+         take ~1 min to land); {} replications per cell\n",
+        cfg.tasks_per_user, cfg.replications
     );
     println!(
-        "{:>3} {:>12} {:>12} {:>14} {:>16}",
-        "b", "mean J", "p95 J", "subs (total)", "wasted starts"
+        "{:>8} {:>10} {:>10} {:>10} {:>9} {:>11} {:>9}",
+        "mix", "mean J", "p95 J", "fairness", "waste", "subs", "util"
     );
-
-    for b in [1u32, 2, 4] {
-        let mut cfg = GridConfig::pipeline_default();
-        // a scarce farm: fewer slots than users, so the community saturates it
-        cfg.sites = vec![gridstrat::sim::SiteConfig {
-            name: "shared-farm".into(),
-            slots: 30,
-            weight: 1.0,
-        }];
-        cfg.background = None; // the community itself is the load
-        cfg.faults.p_silent_loss = 0.03;
-        // cancels are WMS round-trips: ~1 min before they take effect
-        cfg.wms.cancellation_delay_mean_s = 60.0;
-        let mut sim = GridSimulation::new(cfg, 0xEC0).expect("valid config");
-        let mut community = Community::new(USERS, TASKS, b, 3_000.0, 600.0);
-        sim.run_controller(&mut community);
-
-        let mut lats = community.latencies.clone();
-        lats.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let mean = lats.iter().sum::<f64>() / lats.len() as f64;
-        let p95 = lats[(lats.len() as f64 * 0.95) as usize];
-        let stats = sim.stats();
-        // a "wasted start" is a redundant copy that started anyway and
-        // burned a slot for its full execution time
-        let wasted = stats.client_started as i64 - lats.len() as i64;
+    let scan = FleetSweep::new(
+        cfg.clone(),
+        vec![burst_mix(1), burst_mix(2), burst_mix(4)],
+        vec![40],
+        vec![GridScenario::baseline()],
+    )
+    .run();
+    for cell in &scan {
         println!(
-            "{:>3} {:>11.0}s {:>11.0}s {:>14} {:>16}",
-            b, mean, p95, stats.client_submitted, wasted
+            "{:>8} {:>9.0}s {:>9.0}s {:>10.3} {:>8.1}% {:>11} {:>8.1}%",
+            cell.mix,
+            cell.mean_latency,
+            cell.groups[0].quantile(0.95),
+            cell.fairness,
+            cell.slot_waste * 100.0,
+            cell.submissions,
+            cell.utilization * 100.0
         );
     }
-
     println!(
-        "\nreading: with everyone bursting, redundant copies consume the very \
-         slots users compete for — latency and waste grow with b, which is why \
-         the paper argues for the delayed strategy's ∆cost < 1 regime."
+        "\nreading: with everyone bursting, redundant copies consume the very\n\
+         slots users compete for — latency and waste grow with b, which is why\n\
+         the paper argues for the delayed strategy's Δcost < 1 regime.\n"
+    );
+
+    // --- stage 2: mix x community-size x scenario sweep -------------------
+    let mixes = vec![
+        StrategyMix::pure("all-single", StrategyParams::Single { t_inf: T_INF }),
+        burst_mix(2),
+        StrategyMix::new(
+            "mixed",
+            vec![
+                StrategyGroup {
+                    strategy: StrategyParams::Single { t_inf: T_INF },
+                    weight: 0.5,
+                },
+                StrategyGroup {
+                    strategy: StrategyParams::Multiple { b: 2, t_inf: T_INF },
+                    weight: 0.25,
+                },
+                StrategyGroup {
+                    strategy: StrategyParams::Delayed {
+                        t0: 1_500.0,
+                        t_inf: T_INF,
+                    },
+                    weight: 0.25,
+                },
+            ],
+        ),
+    ];
+    let sweep = FleetSweep::new(
+        cfg.clone(),
+        mixes,
+        vec![20, 40, 60],
+        vec![
+            GridScenario::baseline(),
+            GridScenario::new("slow+faulty", 2.0, 1.5),
+        ],
+    );
+    println!(
+        "fleet sweep: {} cells ({} community runs total)\n",
+        sweep.n_cells(),
+        sweep.n_runs_total()
+    );
+    println!(
+        "{:>10} {:>6} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "mix", "users", "scenario", "mean J", "fairness", "waste", "util"
+    );
+    for cell in sweep.run() {
+        println!(
+            "{:>10} {:>6} {:>12} {:>9.0}s {:>10.3} {:>8.1}% {:>8.1}%",
+            cell.mix,
+            cell.users,
+            cell.scenario,
+            cell.mean_latency,
+            cell.fairness,
+            cell.slot_waste * 100.0,
+            cell.utilization * 100.0
+        );
+        // per-strategy latency breakdown for the heterogeneous mix
+        if cell.groups.len() > 1 && cell.scenario == "baseline" {
+            for g in &cell.groups {
+                println!(
+                    "{:>10}   group {}: {:<40} mean {:>6.0}s  p95 {:>6.0}s",
+                    "",
+                    g.group,
+                    format!("{:?}", g.strategy),
+                    g.latency.mean(),
+                    g.quantile(0.95)
+                );
+            }
+        }
+    }
+
+    // --- stage 3: best-response equilibrium search ------------------------
+    println!("\nbest-response search: single vs 2-fold vs 4-fold burst, 40 users\n");
+    let mut eq_cfg = cfg;
+    eq_cfg.tasks_per_user = 3; // keep the search snappy
+    let search = BestResponseSearch::new(
+        eq_cfg,
+        40,
+        vec![
+            StrategyParams::Single { t_inf: T_INF },
+            StrategyParams::Multiple { b: 2, t_inf: T_INF },
+            StrategyParams::Multiple { b: 4, t_inf: T_INF },
+        ],
+        GridScenario::baseline(),
+    );
+    let report = search.run();
+    println!(
+        "{:>4} {:>18} {:>26} {:>26} {:>6}",
+        "iter", "counts (s/b2/b4)", "incumbent J (s)", "deviation J (s)", "best"
+    );
+    for (i, step) in report.steps.iter().enumerate() {
+        let fmt = |xs: &[f64]| {
+            xs.iter()
+                .map(|x| {
+                    if x.is_nan() {
+                        "    -".into()
+                    } else {
+                        format!("{x:>5.0}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "{:>4} {:>18} {:>26} {:>26} {:>6}",
+            i,
+            format!("{:?}", step.counts),
+            fmt(&step.incumbent_latency),
+            fmt(&step.deviation_latency),
+            step.best_response
+        );
+    }
+    let fractions: Vec<String> = report
+        .final_fractions()
+        .iter()
+        .map(|f| format!("{:.0}%", f * 100.0))
+        .collect();
+    println!(
+        "\n{} after {} iteration(s): final mix {:?} -> [{}]",
+        if report.converged {
+            "converged to an approximate equilibrium"
+        } else {
+            "stopped at the iteration cap"
+        },
+        report.steps.len(),
+        report.final_counts,
+        fractions.join(", ")
+    );
+    println!(
+        "reading: a lone deviator can usually still cut its own latency by\n\
+         bursting harder, so the dynamics drift toward aggressive mixes — a\n\
+         tragedy of the commons: compare the equilibrium community's incumbent\n\
+         latencies with the all-single row of the sweep above. Individually\n\
+         rational multiple submission is collectively self-defeating, exactly\n\
+         the administrators' complaint the paper cites (§8)."
     );
 }

@@ -19,6 +19,11 @@
 //!   timeout optimization, the `∆cost` criterion, stability and cross-week
 //!   transfer analyses, and Monte-Carlo strategy executors
 //!   ([`gridstrat_core`]).
+//! * [`fleet`] — the multi-user ecosystem simulator (the paper's §8
+//!   future work): populations of heterogeneous strategies multiplexed
+//!   onto one shared grid, strategy-mix sweeps, fairness / slot-waste /
+//!   utilisation metrics and best-response equilibrium search
+//!   ([`gridstrat_fleet`]).
 //!
 //! ## Quickstart
 //!
@@ -36,6 +41,7 @@
 //! ```
 
 pub use gridstrat_core as core;
+pub use gridstrat_fleet as fleet;
 pub use gridstrat_sim as sim;
 pub use gridstrat_stats as stats;
 pub use gridstrat_workload as workload;
@@ -59,6 +65,11 @@ pub mod prelude {
         Strategy, Timeout1d,
     };
     pub use gridstrat_core::transfer::{transfer_matrix, TransferReport};
+    pub use gridstrat_fleet::{
+        jain_index, run_cell, user_stream_seed, ArrivalProcess, Assignment, BestResponseSearch,
+        BestResponseStep, EquilibriumReport, FleetCellOutcome, FleetConfig, FleetController,
+        FleetRun, FleetSweep, GroupReport, StrategyGroup, StrategyMix, UserOutcome,
+    };
     pub use gridstrat_sim::{
         Controller, GridConfig, GridSimulation, JobId, JobRecord, JobState, Notification,
         ProbeHarness, SimDuration, SimTime,
