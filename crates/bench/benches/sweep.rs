@@ -17,6 +17,14 @@
 //! [`bench_fleet_trajectory`] does the same for the multi-user fleet
 //! subsystem (`gridstrat-fleet`), writing `BENCH_fleet.json` with the
 //! community-tasks-per-second throughput point.
+//!
+//! [`bench_adaptive_trajectory`] measures the nonstationary adaptive
+//! subsystem (`gridstrat_core::adaptive`): a full
+//! (amplitude × retune-period) [`AdaptiveSweep`] — tuned-once and
+//! online-retuned task sequences on modulated live grids, scale-tracking
+//! retunes, and regret-frontier scoring — writing `BENCH_adaptive.json`
+//! with the end-to-end tasks-per-second point plus the headline regret
+//! numbers (so the *scientific* result is versioned next to the perf one).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridstrat_core::cost::StrategyParams;
@@ -237,11 +245,97 @@ fn bench_fleet_trajectory(_c: &mut Criterion) {
     }
 }
 
+// --- adaptive trajectory ------------------------------------------------------
+
+/// Measures the nonstationary adaptive workload — an `AdaptiveSweep` over
+/// (diurnal amplitude × retune period), running tuned-once and
+/// online-retuned sequences with regret scoring — and writes
+/// `BENCH_adaptive.json` at the workspace root. `BENCH_SMOKE=1` shrinks
+/// the workload and redirects the artefact under `target/`.
+fn bench_adaptive_trajectory(_c: &mut Criterion) {
+    use gridstrat_core::adaptive::{AdaptiveConfig, AdaptiveSweep};
+    use gridstrat_workload::WeekModel;
+
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let (n_tasks, reps) = if smoke { (60usize, 1usize) } else { (600, 3) };
+    let base = WeekModel::calibrate("drift-week", 570.0, 886.0, 0.20, 60.0, 10_000.0)
+        .expect("valid calibration");
+    let sweep = AdaptiveSweep {
+        base,
+        period_s: 86_400.0,
+        amplitudes: vec![0.5, 0.8],
+        retune_periods: vec![5, 20],
+        family: StrategyParams::Delayed {
+            t0: 400.0,
+            t_inf: 560.0,
+        },
+        adaptive: AdaptiveConfig::default(),
+        n_tasks,
+        seed: 0x5EED,
+    };
+    // 2 sequences (fixed + adaptive) per cell
+    let tasks_per_run = sweep.n_cells() * 2 * n_tasks;
+
+    let cells = black_box(sweep.run()); // warm-up; also the recorded outcome
+    let mut secs: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(sweep.run());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = secs[secs.len() / 2];
+    let tasks_per_sec = tasks_per_run as f64 / median;
+
+    println!(
+        "adaptive_trajectory/{}: {} cells x 2 sequences x {n_tasks} tasks in \
+         {:.3} ms median -> {tasks_per_sec:.0} tasks/s",
+        if smoke { "smoke" } else { "full" },
+        sweep.n_cells(),
+        median * 1e3,
+    );
+
+    let mut cell_lines = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        cell_lines.push_str(&format!(
+            "    {{ \"amplitude\": {}, \"retune_every\": {}, \"regret_fixed\": {}, \"regret_adaptive\": {}, \"mean_j_fixed\": {}, \"mean_j_adaptive\": {}, \"retunes\": {} }}{}\n",
+            c.amplitude,
+            c.retune_every,
+            c.fixed.mean_regret,
+            c.adaptive.mean_regret,
+            c.fixed.mean_latency,
+            c.adaptive.mean_latency,
+            c.retunes,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"cells\": {cells_n},\n    \"tasks_per_sequence\": {n_tasks},\n    \"sequences_per_cell\": 2,\n    \"tasks_per_run\": {tasks_per_run},\n    \"seed\": {seed},\n    \"mode\": \"{mode}\"\n  }},\n  \"current\": {{\n    \"tasks_per_sec\": {tasks_per_sec},\n    \"median_run_secs\": {median},\n    \"reps\": {reps}\n  }},\n  \"regret\": [\n{cell_lines}  ]\n}}\n",
+        cells_n = sweep.n_cells(),
+        seed = sweep.seed,
+        mode = if smoke { "smoke" } else { "full" },
+    );
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_adaptive.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_adaptive.json")
+    };
+    match std::fs::write(path, json) {
+        Ok(()) => println!("adaptive_trajectory: wrote {path}"),
+        Err(e) => println!("adaptive_trajectory: could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_sweep_throughput,
     bench_sweep_single_cell_overhead,
     bench_sweep_trajectory,
-    bench_fleet_trajectory
+    bench_fleet_trajectory,
+    bench_adaptive_trajectory
 );
 criterion_main!(benches);

@@ -28,7 +28,7 @@ use gridstrat_sim::{
 };
 use gridstrat_stats::rng::derive_seed;
 use gridstrat_stats::Summary;
-use gridstrat_workload::{WeekId, WeekModel};
+use gridstrat_workload::{WeekId, WeekModel, MAX_FAULT_RATIO};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -217,6 +217,16 @@ impl StrategyExecutor {
         }
     }
 
+    /// Creates an executor over an arbitrary validated grid configuration
+    /// — the entry point for modulated (nonstationary) and pipeline-mode
+    /// Monte-Carlo runs that the week-model convenience constructors
+    /// cannot express.
+    pub fn from_grid(grid: impl Into<Arc<GridConfig>>, config: MonteCarloConfig) -> Self {
+        let grid = grid.into();
+        grid.validate().expect("executor grid must validate");
+        StrategyExecutor { grid, config }
+    }
+
     /// Creates an executor that resamples latencies i.i.d. from a recorded
     /// trace — strategies then run against *exactly* the empirical law an
     /// [`crate::latency::EmpiricalModel`] of that trace describes.
@@ -267,7 +277,7 @@ pub struct GridScenario {
     /// Scenario label (appears in sweep outcomes and report tables).
     pub name: String,
     /// Multiplier on the week's outlier/fault ratio `ρ` (result clamped to
-    /// `[0, 0.9]`).
+    /// `[0, MAX_FAULT_RATIO]`).
     pub fault_scale: f64,
     /// Multiplier on body latency (scales the latency floor and the
     /// log-normal body; `1.0` = the calibrated week).
@@ -309,7 +319,7 @@ impl GridScenario {
     /// * **Pipeline** mode: `latency_scale` multiplies every middleware hop
     ///   delay (UI→WMS, match-making, dispatch, and a non-zero cancellation
     ///   delay), and `fault_scale` multiplies both fault probabilities
-    ///   (clamped to `[0, 0.95]`).
+    ///   (clamped to `[0, MAX_FAULT_RATIO]`).
     /// * **Resample** mode: recorded latencies are left untouched; only the
     ///   fault knobs would apply, and resample mode has none — the config
     ///   passes through unchanged.
@@ -324,19 +334,24 @@ impl GridScenario {
                 out.wms.dispatch_mean_s *= self.latency_scale;
                 out.wms.cancellation_delay_mean_s *= self.latency_scale;
                 out.faults.p_silent_loss =
-                    (out.faults.p_silent_loss * self.fault_scale).clamp(0.0, 0.95);
+                    (out.faults.p_silent_loss * self.fault_scale).clamp(0.0, MAX_FAULT_RATIO);
                 out.faults.p_transient_failure =
-                    (out.faults.p_transient_failure * self.fault_scale).clamp(0.0, 0.95);
+                    (out.faults.p_transient_failure * self.fault_scale).clamp(0.0, MAX_FAULT_RATIO);
             }
         }
         out
     }
 
-    /// Applies the scenario to a calibrated week model.
+    /// Applies the scenario to a calibrated week model. The fault ratio
+    /// saturates at the same [`MAX_FAULT_RATIO`] ceiling as the pipeline
+    /// overlay ([`GridScenario::apply_grid`]) and the live modulation
+    /// paths — the oracle clamp had drifted to 0.9 while every other path
+    /// used 0.95, so the *same* scenario saturated at different fault
+    /// levels depending on the latency mode.
     pub fn apply(&self, week: &WeekModel) -> WeekModel {
         let mut out = week.clone();
         out.name = format!("{}:{}", week.name, self.name);
-        out.rho = (week.rho * self.fault_scale).clamp(0.0, 0.9);
+        out.rho = (week.rho * self.fault_scale).clamp(0.0, MAX_FAULT_RATIO);
         // scaling a shifted log-normal by s: shift ×= s, μ += ln s
         out.shift_s = week.shift_s * self.latency_scale;
         out.body_mu = week.body_mu + self.latency_scale.ln();
@@ -921,6 +936,50 @@ mod tests {
     }
 
     #[test]
+    fn modulated_engine_reuse_and_thread_counts_are_unobservable() {
+        // the engine_reuse_is_unobservable family under an active
+        // Modulation: single-thread (one reused worker) vs one-thread-per-
+        // trial (all-fresh workers) must agree to the bit when the grid
+        // drifts mid-trial, for every strategy family
+        use gridstrat_workload::DiurnalModel;
+        let trials = 32usize;
+        let w = week();
+        let mut grid = GridConfig::oracle(w.clone());
+        grid.modulation = Some(Arc::new(DiurnalModel::new(w, 0.7, 2_000.0).unwrap()) as Arc<_>);
+        let grid = Arc::new(grid);
+        for spec in [
+            StrategyParams::Single { t_inf: 700.0 },
+            StrategyParams::Multiple { b: 3, t_inf: 800.0 },
+            StrategyParams::Delayed {
+                t0: 400.0,
+                t_inf: 560.0,
+            },
+        ] {
+            let run_with = |threads: usize| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool");
+                pool.install(|| {
+                    StrategyExecutor::from_grid(Arc::clone(&grid), cfg(trials)).run(spec)
+                })
+            };
+            let reused = run_with(1);
+            let fresh = run_with(trials);
+            assert_eq!(
+                reused.mean_j.to_bits(),
+                fresh.mean_j.to_bits(),
+                "{spec:?}: modulated reuse diverged from fresh"
+            );
+            assert_eq!(reused.std_j.to_bits(), fresh.std_j.to_bits());
+            assert_eq!(
+                reused.mean_parallel.to_bits(),
+                fresh.mean_parallel.to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn deterministic_across_repeats() {
         let w = week();
         let a =
@@ -1150,8 +1209,65 @@ mod tests {
         // body mean scales linearly with the latency scale
         assert!((out.body_mean() - w.body_mean() * 1.25).abs() / w.body_mean() < 1e-9);
         assert!(out.name.contains(":x"));
-        // extreme fault scaling clamps below 1
-        assert!(GridScenario::new("f", 100.0, 1.0).apply(&w).rho <= 0.9);
+        // extreme fault scaling clamps at the shared ceiling
+        assert_eq!(
+            GridScenario::new("f", 100.0, 1.0).apply(&w).rho,
+            MAX_FAULT_RATIO
+        );
+    }
+
+    #[test]
+    fn fault_clamp_saturates_identically_across_all_scaling_paths() {
+        // Regression for the clamp drift: `GridScenario::apply` saturated
+        // ρ at 0.9 while `apply_grid` (pipeline overlay) and the
+        // nonstationary models saturated at 0.95. All fault-scaling paths
+        // must hit exactly MAX_FAULT_RATIO.
+        let w = week(); // rho = 0.10
+        let scale = 1_000.0;
+
+        // path 1: oracle week-model overlay
+        let via_apply = GridScenario::new("sat", scale, 1.0).apply(&w).rho;
+
+        // path 2: pipeline fault-probability overlay
+        let mut pipeline = GridConfig::pipeline_default();
+        pipeline.faults.p_silent_loss = 0.10;
+        pipeline.faults.p_transient_failure = 0.10;
+        let overlaid = GridScenario::new("sat", scale, 1.0).apply_grid(&pipeline);
+        let via_apply_grid = overlaid.faults.p_silent_loss;
+
+        // path 3: oracle mode through apply_grid (delegates to apply)
+        let via_grid_oracle = match GridScenario::new("sat", scale, 1.0)
+            .apply_grid(&GridConfig::oracle(w.clone()))
+            .latency
+        {
+            LatencyMode::Oracle(m) => m.rho,
+            other => panic!("latency mode changed: {other:?}"),
+        };
+
+        // path 4: the nonstationary models' instantaneous fault ratio
+        let diurnal = gridstrat_workload::DiurnalModel::new(
+            WeekModel::calibrate("hot", 500.0, 700.0, 0.8, 60.0, 10_000.0).unwrap(),
+            0.9,
+            86_400.0,
+        )
+        .unwrap();
+        let via_rho_at = diurnal.rho_at(21_600.0); // intensity 1.9 → 1.52 pre-clamp
+        let via_modulated = w.modulated(1.0, scale).rho;
+
+        for (label, got) in [
+            ("GridScenario::apply", via_apply),
+            ("GridScenario::apply_grid (pipeline)", via_apply_grid),
+            ("GridScenario::apply_grid (oracle)", via_grid_oracle),
+            ("DiurnalModel::rho_at", via_rho_at),
+            ("WeekModel::modulated", via_modulated),
+        ] {
+            assert_eq!(
+                got.to_bits(),
+                MAX_FAULT_RATIO.to_bits(),
+                "{label} saturated at {got}, want MAX_FAULT_RATIO"
+            );
+        }
+        assert!(overlaid.validate().is_ok());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   plus the batched [`executor::ScenarioSweep`] evaluating a
 //!   (strategy × week × grid-scenario) grid in one thread-count-independent
 //!   rayon pass;
+//! * [`adaptive`] — online-adapting strategies on *nonstationary* live
+//!   grids: the back-to-back task-sequence harness, the
+//!   [`adaptive::AdaptiveStrategy`] wrapper re-tuning timeouts from its
+//!   own observations, regret accounting against the instantaneous
+//!   oracle optimum, and the (amplitude × retune-period)
+//!   [`adaptive::AdaptiveSweep`];
 //! * [`report`] — fixed-width table / CSV rendering for the reproduction
 //!   harness.
 //!
@@ -42,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adaptive;
 pub mod application;
 pub mod cost;
 pub mod executor;
@@ -51,6 +58,11 @@ pub mod stability;
 pub mod strategy;
 pub mod transfer;
 
+pub use adaptive::{
+    run_adaptive_sequence, run_fixed_sequence, AdaptiveCellOutcome, AdaptiveConfig,
+    AdaptiveStrategy, AdaptiveSweep, RegretFrontier, RetunePolicy, SequenceOutcome,
+    SequenceSummary, TaskRecord,
+};
 pub use cost::{cost_point, delta_cost, CostPoint, StrategyParams};
 pub use executor::{
     GridScenario, MonteCarloConfig, MonteCarloEstimate, ScenarioOutcome, ScenarioSweep,

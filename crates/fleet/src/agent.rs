@@ -1,10 +1,12 @@
 //! Per-user agents: a wrapped submission strategy plus a task-arrival
 //! process and a private, deterministically-derived RNG stream.
 
+use gridstrat_core::adaptive::AdaptiveConfig;
 use gridstrat_core::cost::StrategyParams;
 use gridstrat_core::executor::StrategyController;
 use gridstrat_core::strategy::Strategy;
 use gridstrat_stats::rng::derive_seed;
+use gridstrat_stats::StreamingEcdf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,14 +64,22 @@ fn exp_sample(rng: &mut StdRng, mean_s: f64) -> f64 {
 }
 
 /// One user's strategy assignment within a fleet: the strategy instance it
-/// plays and the mix group it reports under.
+/// plays, the mix group it reports under, and (optionally) an online
+/// adaptation policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Assignment {
-    /// The strategy this user executes for every task.
+    /// The strategy this user starts every task sequence from.
     pub strategy: StrategyParams,
     /// Index of the reporting group (a [`crate::mix::StrategyMix`] group,
     /// or a candidate index in equilibrium search).
     pub group: usize,
+    /// When set, the user re-tunes its timeouts from its own observed
+    /// per-job outcomes every `retune_every` tasks (see
+    /// [`gridstrat_core::adaptive`]). Fleet users have no analytic prior
+    /// for the emergent pipeline law, so the
+    /// [`RetunePolicy::ScaledPrior`](gridstrat_core::adaptive::RetunePolicy)
+    /// policy degrades to the empirical-snapshot retune.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 /// The seed of user `u`'s private RNG stream inside a fleet seeded with
@@ -86,6 +96,9 @@ pub fn user_stream_seed(fleet_seed: u64, user: usize) -> u64 {
 /// arrival RNG, and per-task progress bookkeeping.
 pub(crate) struct UserAgent {
     pub(crate) assignment: Assignment,
+    /// The parameters currently in effect — starts at
+    /// `assignment.strategy`, moves when an adaptive retune fires.
+    pub(crate) params: StrategyParams,
     pub(crate) ctrl: Box<dyn StrategyController>,
     pub(crate) rng: StdRng,
     /// Task index currently (or last) in flight; doubles as the timer/job
@@ -94,20 +107,38 @@ pub(crate) struct UserAgent {
     pub(crate) active: bool,
     pub(crate) tasks_done: usize,
     pub(crate) task_started_s: f64,
+    /// Engine job-table length at the current task's launch: the agent's
+    /// jobs of this task all live at or beyond this index.
+    pub(crate) task_job_floor: usize,
     pub(crate) latencies: Vec<f64>,
+    /// The adaptive user's own observation stream (`None` for plain
+    /// users). Censoring threshold: the paper's 10 000 s probe cutoff.
+    pub(crate) estimator: Option<StreamingEcdf>,
 }
 
 impl UserAgent {
     pub(crate) fn new(index: usize, assignment: Assignment, fleet_seed: u64) -> Self {
+        let estimator = assignment.adaptive.map(|cfg| {
+            cfg.validate().expect("valid adaptive assignment");
+            StreamingEcdf::new(
+                cfg.window,
+                cfg.decay,
+                gridstrat_workload::CENSOR_THRESHOLD_S,
+            )
+            .expect("validated adaptive config")
+        });
         UserAgent {
             assignment,
+            params: assignment.strategy,
             ctrl: assignment.strategy.build_controller(),
             rng: StdRng::seed_from_u64(user_stream_seed(fleet_seed, index)),
             epoch: 0,
             active: false,
             tasks_done: 0,
             task_started_s: 0.0,
+            task_job_floor: 0,
             latencies: Vec::new(),
+            estimator,
         }
     }
 
@@ -115,13 +146,24 @@ impl UserAgent {
     /// keeping allocations. The fleet-level analogue of
     /// [`StrategyController::reset`].
     pub(crate) fn reset(&mut self, index: usize, fleet_seed: u64) {
-        self.ctrl.reset();
+        if self.params != self.assignment.strategy {
+            // an adaptive run moved the parameters: rebuild the controller
+            // for the initial instance (plain users keep theirs)
+            self.params = self.assignment.strategy;
+            self.ctrl = self.assignment.strategy.build_controller();
+        } else {
+            self.ctrl.reset();
+        }
         self.rng = StdRng::seed_from_u64(user_stream_seed(fleet_seed, index));
         self.epoch = 0;
         self.active = false;
         self.tasks_done = 0;
         self.task_started_s = 0.0;
+        self.task_job_floor = 0;
         self.latencies.clear();
+        if let Some(est) = self.estimator.as_mut() {
+            est.clear();
+        }
     }
 }
 

@@ -19,6 +19,7 @@
 use crate::agent::{ArrivalProcess, Assignment, UserAgent};
 use crate::metrics::{FleetRun, UserOutcome};
 use crate::mix::MAX_USERS;
+use gridstrat_core::strategy::Strategy;
 use gridstrat_sim::{Controller, GridSimulation, JobId, Notification, SimDuration};
 
 /// Scope bit layout: `(user + 1) << 16 | epoch` — 16 bits of task epoch,
@@ -131,6 +132,7 @@ impl FleetController {
         agent.epoch = agent.tasks_done as u64;
         agent.active = true;
         agent.task_started_s = sim.now().as_secs();
+        agent.task_job_floor = sim.jobs().len();
         agent.ctrl.reset();
         sim.set_scope(user_scope(user, agent.epoch));
         sim.set_default_exec(exec);
@@ -161,6 +163,40 @@ impl FleetController {
         agent.active = false;
         agent.tasks_done += 1;
         let more = agent.tasks_done < self.tasks_per_user;
+        // adaptive users: harvest this task's own per-job outcomes (exact
+        // latency for started jobs; abandoned waits only count as
+        // censoring evidence when they reached the timeout — copies
+        // cancelled early because the task won are protocol cleanup) and
+        // re-tune every `retune_every` completed tasks
+        if let (Some(cfg), Some(est)) = (agent.assignment.adaptive, agent.estimator.as_mut()) {
+            let now = sim.now().as_secs();
+            let scope = user_scope(user, epoch);
+            let t_inf = gridstrat_core::adaptive::timeout_of(agent.params);
+            for rec in &sim.jobs()[agent.task_job_floor..] {
+                if rec.owner != scope
+                    || !matches!(rec.origin, gridstrat_sim::job::JobOrigin::Client)
+                {
+                    continue;
+                }
+                match rec.started_at {
+                    Some(st) => est.observe_started(st.since(rec.submitted_at).as_secs()),
+                    None => {
+                        let end = rec.terminated_at.map_or(now, |t| t.as_secs());
+                        let waited = (end - rec.submitted_at.as_secs()).max(0.0);
+                        if gridstrat_core::adaptive::is_timeout_censored(waited, t_inf) {
+                            est.observe_censored(waited);
+                        }
+                    }
+                }
+            }
+            if more && agent.tasks_done.is_multiple_of(cfg.retune_every) {
+                let next = gridstrat_core::adaptive::retune_params(agent.params, est, &cfg);
+                if next != agent.params {
+                    agent.params = next;
+                    agent.ctrl = next.build_controller();
+                }
+            }
+        }
         let delay = if more {
             self.arrival.think_delay(&mut agent.rng)
         } else {

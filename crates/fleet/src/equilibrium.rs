@@ -201,6 +201,7 @@ impl BestResponseSearch {
                     Assignment {
                         strategy: self.candidates[c],
                         group: c,
+                        adaptive: None,
                     },
                     n,
                 )
@@ -220,6 +221,7 @@ impl BestResponseSearch {
                     scratch.push(Assignment {
                         strategy: self.candidates[config_idx - 1],
                         group: config_idx - 1,
+                        adaptive: None,
                     });
                 }
                 run_population(&self.fleet, grid, scratch, rep_seed)

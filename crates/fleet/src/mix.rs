@@ -2,6 +2,7 @@
 //! configuration a sweep cell is instantiated from.
 
 use crate::agent::{ArrivalProcess, Assignment};
+use gridstrat_core::adaptive::AdaptiveConfig;
 use gridstrat_core::cost::StrategyParams;
 use gridstrat_core::strategy::DelayedResubmission;
 use gridstrat_sim::{GridConfig, SiteConfig};
@@ -18,6 +19,30 @@ pub struct StrategyGroup {
     pub strategy: StrategyParams,
     /// Relative weight (need not be normalised; must be non-negative).
     pub weight: f64,
+    /// When set, this group's users adapt online: each re-tunes its own
+    /// timeouts from its own observed job outcomes every `retune_every`
+    /// tasks (see [`gridstrat_core::adaptive`]).
+    pub adaptive: Option<AdaptiveConfig>,
+}
+
+impl StrategyGroup {
+    /// A plain (non-adapting) group.
+    pub fn new(strategy: StrategyParams, weight: f64) -> Self {
+        StrategyGroup {
+            strategy,
+            weight,
+            adaptive: None,
+        }
+    }
+
+    /// An online-adapting group.
+    pub fn adaptive(strategy: StrategyParams, weight: f64, config: AdaptiveConfig) -> Self {
+        StrategyGroup {
+            strategy,
+            weight,
+            adaptive: Some(config),
+        }
+    }
 }
 
 /// A heterogeneous population: named fractions of single / multiple /
@@ -44,13 +69,7 @@ impl StrategyMix {
 
     /// The homogeneous mix: everyone plays `strategy`.
     pub fn pure(name: impl Into<String>, strategy: StrategyParams) -> Self {
-        StrategyMix::new(
-            name,
-            vec![StrategyGroup {
-                strategy,
-                weight: 1.0,
-            }],
-        )
+        StrategyMix::new(name, vec![StrategyGroup::new(strategy, 1.0)])
     }
 
     /// Checks weights and strategy feasibility.
@@ -72,6 +91,9 @@ impl StrategyMix {
                         "group {i}: infeasible delayed pair ({t0}, {t_inf})"
                     ));
                 }
+            }
+            if let Some(cfg) = &g.adaptive {
+                cfg.validate().map_err(|e| format!("group {i}: {e}"))?;
             }
         }
         if total <= 0.0 || !total.is_finite() {
@@ -117,6 +139,7 @@ impl StrategyMix {
                 Assignment {
                     strategy: g.strategy,
                     group,
+                    adaptive: g.adaptive,
                 },
                 n,
             ));
@@ -210,10 +233,12 @@ mod tests {
                 StrategyGroup {
                     strategy: s(700.0),
                     weight: 1.0,
+                    adaptive: None,
                 },
                 StrategyGroup {
                     strategy: StrategyParams::Multiple { b: 2, t_inf: 800.0 },
                     weight: 1.0,
+                    adaptive: None,
                 },
                 StrategyGroup {
                     strategy: StrategyParams::Delayed {
@@ -221,6 +246,7 @@ mod tests {
                         t_inf: 560.0,
                     },
                     weight: 1.0,
+                    adaptive: None,
                 },
             ],
         );
@@ -242,10 +268,12 @@ mod tests {
                 StrategyGroup {
                     strategy: s(700.0),
                     weight: 3.0,
+                    adaptive: None,
                 },
                 StrategyGroup {
                     strategy: s(900.0),
                     weight: 1.0,
+                    adaptive: None,
                 },
             ],
         );
@@ -275,7 +303,8 @@ mod tests {
             name: "zero".into(),
             groups: vec![StrategyGroup {
                 strategy: s(700.0),
-                weight: 0.0
+                weight: 0.0,
+                adaptive: None,
             }]
         }
         .validate()
@@ -287,7 +316,8 @@ mod tests {
                     t0: 100.0,
                     t_inf: 50.0
                 },
-                weight: 1.0
+                weight: 1.0,
+                adaptive: None,
             }]
         }
         .validate()

@@ -3,6 +3,7 @@
 //! bit-identity, and the paper's administrators' complaint (raising `b`
 //! degrades everyone's latency) as a pinned regression.
 
+use gridstrat_core::adaptive::{AdaptiveConfig, RetunePolicy};
 use gridstrat_core::cost::StrategyParams;
 use gridstrat_core::executor::GridScenario;
 use gridstrat_fleet::{BestResponseSearch, FleetConfig, FleetSweep, StrategyGroup, StrategyMix};
@@ -23,6 +24,7 @@ fn mixed_population() -> StrategyMix {
             StrategyGroup {
                 strategy: StrategyParams::Single { t_inf: 3000.0 },
                 weight: 1.0,
+                adaptive: None,
             },
             StrategyGroup {
                 strategy: StrategyParams::Multiple {
@@ -30,6 +32,7 @@ fn mixed_population() -> StrategyMix {
                     t_inf: 3000.0,
                 },
                 weight: 1.0,
+                adaptive: None,
             },
             StrategyGroup {
                 strategy: StrategyParams::Delayed {
@@ -37,6 +40,7 @@ fn mixed_population() -> StrategyMix {
                     t_inf: 3000.0,
                 },
                 weight: 1.0,
+                adaptive: None,
             },
         ],
     )
@@ -94,6 +98,7 @@ fn tiny_community_with_empty_apportioned_group_runs() {
             StrategyGroup {
                 strategy: StrategyParams::Single { t_inf: 3000.0 },
                 weight: 0.5,
+                adaptive: None,
             },
             StrategyGroup {
                 strategy: StrategyParams::Multiple {
@@ -101,6 +106,7 @@ fn tiny_community_with_empty_apportioned_group_runs() {
                     t_inf: 3000.0,
                 },
                 weight: 0.2,
+                adaptive: None,
             },
             StrategyGroup {
                 strategy: StrategyParams::Delayed {
@@ -108,6 +114,7 @@ fn tiny_community_with_empty_apportioned_group_runs() {
                     t_inf: 3000.0,
                 },
                 weight: 0.3,
+                adaptive: None,
             },
         ],
     );
@@ -232,6 +239,107 @@ fn raising_b_degrades_community_latency_and_waste() {
         "wasted starts must grow with b"
     );
     assert!(b1.slot_waste < 0.35, "b=1 waste should be modest");
+}
+
+fn adaptive_config() -> AdaptiveConfig {
+    AdaptiveConfig {
+        retune_every: 2,
+        window: 100,
+        decay: 0.95,
+        min_body: 5,
+        policy: RetunePolicy::EmpiricalBackoff {
+            max_censored_fraction: 0.5,
+            growth: 1.5,
+        },
+    }
+}
+
+/// A mix whose single-resubmission half adapts online; the burst half is
+/// plain — exercising mixed adaptive/non-adaptive routing in one engine.
+fn adaptive_mix() -> StrategyMix {
+    StrategyMix::new(
+        "adaptive-vs-burst",
+        vec![
+            StrategyGroup::adaptive(
+                StrategyParams::Single { t_inf: 3000.0 },
+                1.0,
+                adaptive_config(),
+            ),
+            StrategyGroup::new(
+                StrategyParams::Multiple {
+                    b: 2,
+                    t_inf: 3000.0,
+                },
+                1.0,
+            ),
+        ],
+    )
+}
+
+#[test]
+fn adaptive_users_complete_and_stay_deterministic() {
+    let mut cfg = test_config();
+    cfg.tasks_per_user = 6; // enough completions for retunes to fire
+    let out = gridstrat_fleet::run_cell(&cfg, &adaptive_mix(), 10, &GridScenario::baseline());
+    assert_eq!(out.tasks_completed, out.tasks_total);
+    assert!(out.mean_latency.is_finite() && out.mean_latency > 0.0);
+
+    // determinism incl. the retuning path: repeat bit-for-bit
+    let again = gridstrat_fleet::run_cell(&cfg, &adaptive_mix(), 10, &GridScenario::baseline());
+    assert_eq!(out.mean_latency.to_bits(), again.mean_latency.to_bits());
+    assert_eq!(out.submissions, again.submissions);
+}
+
+#[test]
+fn adaptive_sweep_identical_across_thread_counts_and_reuse() {
+    // the sweep reuses one engine + fleet per worker across replications:
+    // a retuned adaptive agent must reset to its initial parameters
+    // bit-identically, or thread counts would change results
+    let mut cfg = test_config();
+    cfg.tasks_per_user = 6;
+    cfg.replications = 3;
+    let sweep = |seed: u64| {
+        let mut c = cfg.clone();
+        c.seed = seed;
+        FleetSweep::new(
+            c,
+            vec![adaptive_mix()],
+            vec![8, 12],
+            vec![GridScenario::baseline()],
+        )
+    };
+    let run_with = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| sweep(0xADF1).run())
+    };
+    let a = run_with(1);
+    let b = run_with(6);
+    assert_eq!(a.len(), 2);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.mean_latency.to_bits(), y.mean_latency.to_bits());
+        assert_eq!(x.submissions, y.submissions);
+        assert_eq!(x.slot_waste.to_bits(), y.slot_waste.to_bits());
+    }
+}
+
+#[test]
+fn mix_rejects_invalid_adaptive_config() {
+    let bad = AdaptiveConfig {
+        retune_every: 0,
+        ..adaptive_config()
+    };
+    let mix = StrategyMix {
+        name: "bad".into(),
+        groups: vec![StrategyGroup::adaptive(
+            StrategyParams::Single { t_inf: 3000.0 },
+            1.0,
+            bad,
+        )],
+    };
+    assert!(mix.validate().is_err());
 }
 
 #[test]

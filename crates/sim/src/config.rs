@@ -1,7 +1,9 @@
 //! Simulation configuration: latency regime, topology, faults, load.
 
+use crate::modulation::Modulation;
 use crate::time::SimDuration;
 use gridstrat_workload::WeekModel;
+use std::sync::Arc;
 
 /// How job latencies come about.
 #[derive(Debug, Clone)]
@@ -135,6 +137,10 @@ pub struct GridConfig {
     /// Hard horizon: events beyond this instant are not processed. Guards
     /// against infinite background-traffic runs.
     pub horizon: SimDuration,
+    /// Time-varying load modulation (see [`crate::modulation`]); `None`
+    /// keeps the grid stationary. Behind an `Arc` so sharing a config
+    /// across thousands of Monte-Carlo engines stays cheap.
+    pub modulation: Option<Arc<dyn Modulation>>,
 }
 
 impl GridConfig {
@@ -152,6 +158,7 @@ impl GridConfig {
             },
             background: None,
             horizon: SimDuration::from_secs(10_000_000.0),
+            modulation: None,
         }
     }
 
@@ -206,6 +213,7 @@ impl GridConfig {
             faults: FaultConfig::default(),
             background: Some(BackgroundLoadConfig::default()),
             horizon: SimDuration::from_secs(10_000_000.0),
+            modulation: None,
         }
     }
 

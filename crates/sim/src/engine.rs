@@ -10,8 +10,9 @@
 use crate::config::{GridConfig, LatencyMode, RankingPolicy};
 use crate::event::{EventKind, EventQueue};
 use crate::job::{JobId, JobOrigin, JobRecord, JobState};
+use crate::modulation::{clamp_fault, MIN_INTENSITY};
 use crate::time::{SimDuration, SimTime};
-use gridstrat_stats::dist::{sample_standard_normal, LogNormal};
+use gridstrat_stats::dist::{sample_standard_normal, Distribution, LogNormal};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -364,14 +365,46 @@ impl GridSimulation {
         SimDuration::from_secs(-u.ln() * mean_s)
     }
 
+    /// The active modulation's `(intensity, fault factor)` at the current
+    /// clock; `None` when the grid is stationary. The stationary path must
+    /// stay exactly as it was (no `× 1.0`, no clamping of validated
+    /// configuration probabilities), so callers branch on the option
+    /// rather than multiplying through neutral factors.
+    fn modulation_factors(&self) -> Option<(f64, f64)> {
+        self.cfg.modulation.as_ref().map(|m| {
+            let t = self.now.as_secs();
+            let intensity = m.intensity_at(t);
+            let fault = m.fault_factor_at(t);
+            debug_assert!(
+                intensity.is_finite() && fault.is_finite() && fault >= 0.0,
+                "modulation returned non-finite factors at t={t}"
+            );
+            (intensity.max(MIN_INTENSITY), fault.max(0.0))
+        })
+    }
+
     fn route_submission(&mut self, id: JobId) {
         // `self.cfg.latency` and `self.rng` are disjoint fields, so the
         // model can be sampled in place — deep-cloning the latency model
         // per submission (the old code) was the single largest allocation
         // on the Monte-Carlo hot path
+        let factors = self.modulation_factors();
         match &self.cfg.latency {
             LatencyMode::Oracle(model) => {
-                let raw = model.sample_latency(&mut self.rng);
+                let raw = match factors {
+                    None => model.sample_latency(&mut self.rng),
+                    // the modulated law at the submission instant: scaled
+                    // fault ratio (shared MAX_FAULT_RATIO ceiling), scaled
+                    // queue-wait, hard floor at the incompressible shift
+                    Some((intensity, fault)) => {
+                        if self.rng.gen::<f64>() < clamp_fault(model.rho * fault) {
+                            model.outlier_tail().sample(&mut self.rng)
+                        } else {
+                            let body = model.body().sample(&mut self.rng);
+                            (model.shift_s + (body - model.shift_s) * intensity).max(model.shift_s)
+                        }
+                    }
+                };
                 if raw >= model.threshold_s {
                     // silently lost: the client only learns via its own timeout
                     self.jobs[id.0 as usize].state = JobState::Stuck;
@@ -387,6 +420,9 @@ impl GridSimulation {
                 latencies,
                 threshold_s,
             } => {
+                // recorded traces are replayed as-is: a modulation has no
+                // access to the (unknown) queue-wait decomposition of a
+                // recorded latency, so resample mode stays stationary
                 let idx = self.rng.gen_range(0..latencies.len());
                 let raw = latencies[idx];
                 if raw >= *threshold_s {
@@ -400,12 +436,19 @@ impl GridSimulation {
                 }
             }
             LatencyMode::Pipeline => {
-                if self.rng.gen::<f64>() < self.cfg.faults.p_silent_loss {
+                let (p_loss, ui_mean) = match factors {
+                    None => (self.cfg.faults.p_silent_loss, self.cfg.wms.ui_to_wms_mean_s),
+                    Some((intensity, fault)) => (
+                        clamp_fault(self.cfg.faults.p_silent_loss * fault),
+                        self.cfg.wms.ui_to_wms_mean_s * intensity,
+                    ),
+                };
+                if self.rng.gen::<f64>() < p_loss {
                     self.jobs[id.0 as usize].state = JobState::Stuck;
                     self.stats.client_stuck += 1;
                     return;
                 }
-                let d = self.exp_delay(self.cfg.wms.ui_to_wms_mean_s);
+                let d = self.exp_delay(ui_mean);
                 self.queue
                     .schedule(self.now.after(d), EventKind::ArriveAtWms(id));
             }
@@ -436,11 +479,21 @@ impl GridSimulation {
             return; // cancelled in flight
         }
         self.jobs[id.0 as usize].state = JobState::AtWms;
-        if self.rng.gen::<f64>() < self.cfg.faults.p_transient_failure {
+        let (p_fail, mm_mean) = match self.modulation_factors() {
+            None => (
+                self.cfg.faults.p_transient_failure,
+                self.cfg.wms.matchmaking_mean_s,
+            ),
+            Some((intensity, fault)) => (
+                clamp_fault(self.cfg.faults.p_transient_failure * fault),
+                self.cfg.wms.matchmaking_mean_s * intensity,
+            ),
+        };
+        if self.rng.gen::<f64>() < p_fail {
             let d = self.exp_delay(self.cfg.faults.failure_delay_mean_s);
             self.queue.schedule(self.now.after(d), EventKind::Fail(id));
         } else {
-            let d = self.exp_delay(self.cfg.wms.matchmaking_mean_s);
+            let d = self.exp_delay(mm_mean);
             self.queue
                 .schedule(self.now.after(d), EventKind::Dispatch(id));
         }
@@ -484,7 +537,11 @@ impl GridSimulation {
         let site = self.select_site();
         self.jobs[id.0 as usize].state = JobState::Matched;
         self.jobs[id.0 as usize].site = Some(site);
-        let d = self.exp_delay(self.cfg.wms.dispatch_mean_s);
+        let dispatch_mean = match self.modulation_factors() {
+            None => self.cfg.wms.dispatch_mean_s,
+            Some((intensity, _)) => self.cfg.wms.dispatch_mean_s * intensity,
+        };
+        let d = self.exp_delay(dispatch_mean);
         self.queue
             .schedule(self.now.after(d), EventKind::EnterQueue(id));
     }
@@ -765,6 +822,192 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Submits jobs one after another (next on start, or on a safety
+    /// timeout for stuck/failed ones), so submission instants sweep across
+    /// a modulation's time axis instead of all landing at t = 0.
+    struct Chain {
+        n: usize,
+        submitted: usize,
+        current: Option<JobId>,
+        latencies: Vec<f64>,
+    }
+    impl Chain {
+        fn new(n: usize) -> Self {
+            Chain {
+                n,
+                submitted: 0,
+                current: None,
+                latencies: Vec::new(),
+            }
+        }
+        fn next(&mut self, sim: &mut GridSimulation) {
+            let id = sim.submit();
+            sim.set_timer(SimDuration::from_secs(11_000.0), id.0);
+            self.current = Some(id);
+            self.submitted += 1;
+        }
+    }
+    impl Controller for Chain {
+        fn start(&mut self, sim: &mut GridSimulation) {
+            self.next(sim);
+        }
+        fn on_event(&mut self, sim: &mut GridSimulation, ev: Notification) {
+            match ev {
+                Notification::JobStarted { id, at } if self.current == Some(id) => {
+                    self.latencies
+                        .push(at.since(sim.job(id).submitted_at).as_secs());
+                    if self.submitted < self.n {
+                        self.next(sim);
+                    } else {
+                        self.current = None;
+                    }
+                }
+                Notification::Timer { token, .. } if self.current == Some(JobId(token)) => {
+                    // stuck or failed: abandon it and move on
+                    sim.cancel(JobId(token));
+                    if self.submitted < self.n {
+                        self.next(sim);
+                    } else {
+                        self.current = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn done(&self) -> bool {
+            self.submitted >= self.n && self.current.is_none()
+        }
+    }
+
+    #[test]
+    fn modulated_oracle_peak_is_slower_than_trough() {
+        use gridstrat_workload::DiurnalModel;
+        // strong diurnal swing on a zero-fault oracle: jobs submitted in
+        // the fast trough phase must start much sooner than peak-phase ones
+        let base = oracle_model(0.0);
+        let diurnal = DiurnalModel::new(base.clone(), 0.8, 86_400.0).unwrap();
+        let mut cfg = GridConfig::oracle(base);
+        cfg.modulation = Some(std::sync::Arc::new(diurnal));
+        let mut sim = GridSimulation::new(cfg, 17).unwrap();
+        let mut ctrl = Chain::new(3_000);
+        sim.run_controller(&mut ctrl);
+        assert_eq!(ctrl.latencies.len(), 3_000);
+        // bucket latencies by submission phase
+        let (mut peak, mut trough) = (Vec::new(), Vec::new());
+        for rec in sim.jobs() {
+            let Some(start) = rec.started_at else {
+                continue;
+            };
+            let lat = start.since(rec.submitted_at).as_secs();
+            let phase = (rec.submitted_at.as_secs() / 86_400.0).fract();
+            if (0.15..0.35).contains(&phase) {
+                peak.push(lat);
+            } else if (0.65..0.85).contains(&phase) {
+                trough.push(lat);
+            }
+        }
+        assert!(peak.len() > 50 && trough.len() > 50);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&peak) > 2.0 * mean(&trough),
+            "peak {} vs trough {}",
+            mean(&peak),
+            mean(&trough)
+        );
+        // the hard floor survives modulation
+        assert!(ctrl.latencies.iter().all(|&l| l >= 50.0));
+    }
+
+    #[test]
+    fn modulated_reset_reproduces_fresh_engine_bit_for_bit() {
+        use gridstrat_workload::{DiurnalModel, RegimeShiftModel};
+        // the engine_reuse_is_unobservable family, under an active
+        // modulation: a reused engine must replay a modulated history
+        // exactly (the modulation lives in the shared config and consumes
+        // no per-engine state)
+        let base = oracle_model(0.12);
+        let mut oracle = GridConfig::oracle(base.clone());
+        oracle.modulation = Some(std::sync::Arc::new(
+            DiurnalModel::new(base.clone(), 0.6, 86_400.0).unwrap(),
+        ));
+        let mut pipeline = GridConfig::pipeline_default();
+        pipeline.background = Some(crate::config::BackgroundLoadConfig {
+            arrival_rate_per_s: 0.05,
+            exec_mean_s: 300.0,
+            exec_cv: 1.0,
+        });
+        pipeline.modulation = Some(std::sync::Arc::new(
+            RegimeShiftModel::step(base, 500.0, 1.0, 2.5).unwrap(),
+        ));
+        // sequential submissions, so the oracle path samples the
+        // modulation at many distinct instants, not just t = 0
+        let chain = || Chain::new(300);
+        let run_fresh = |cfg: &GridConfig, seed: u64| {
+            let mut sim = GridSimulation::new(cfg.clone(), seed).unwrap();
+            let mut ctrl = chain();
+            sim.run_controller(&mut ctrl);
+            (fingerprint(&sim), sim.stats(), ctrl.latencies)
+        };
+        for cfg in [oracle, pipeline] {
+            let mut sim = GridSimulation::new(cfg.clone(), 11).unwrap();
+            let mut first = chain();
+            sim.run_controller(&mut first);
+            for seed in [11u64, 22, 33] {
+                sim.reset(seed);
+                let mut ctrl = chain();
+                sim.run_controller(&mut ctrl);
+                let (jobs, stats, latencies) = run_fresh(&cfg, seed);
+                assert_eq!(
+                    fingerprint(&sim),
+                    jobs,
+                    "modulated job audit diverged (seed {seed})"
+                );
+                assert_eq!(sim.stats(), stats, "modulated stats diverged (seed {seed})");
+                assert_eq!(
+                    ctrl.latencies
+                        .iter()
+                        .map(|l| l.to_bits())
+                        .collect::<Vec<_>>(),
+                    latencies.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                    "modulated latency stream diverged (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modulated_pipeline_storm_raises_faults_and_delays() {
+        use gridstrat_workload::RegimeShiftModel;
+        let base = oracle_model(0.0); // only used as the modulation base
+        let mut calm_cfg = GridConfig::pipeline_default();
+        calm_cfg.background = None;
+        calm_cfg.faults.p_transient_failure = 0.0;
+        calm_cfg.faults.p_silent_loss = 0.1;
+        let mut storm_cfg = calm_cfg.clone();
+        // storm from t = 0 (first regime): 3x hop delays, 4x silent loss
+        storm_cfg.modulation = Some(std::sync::Arc::new(
+            RegimeShiftModel::new(base, vec![1e9], vec![3.0, 1.0], vec![4.0, 1.0]).unwrap(),
+        ));
+        let run = |cfg: GridConfig| {
+            let mut sim = GridSimulation::new(cfg, 23).unwrap();
+            let mut ctrl = CollectStarts::new(600);
+            sim.run_controller(&mut ctrl);
+            let stuck = sim.stats().client_stuck as f64 / 600.0;
+            let mean = ctrl.latencies.iter().sum::<f64>() / ctrl.latencies.len().max(1) as f64;
+            (stuck, mean)
+        };
+        let (calm_stuck, calm_mean) = run(calm_cfg);
+        let (storm_stuck, storm_mean) = run(storm_cfg);
+        assert!(
+            storm_stuck > 2.0 * calm_stuck,
+            "stuck {calm_stuck} vs {storm_stuck}"
+        );
+        assert!(
+            storm_mean > 2.0 * calm_mean,
+            "mean {calm_mean} vs {storm_mean}"
+        );
     }
 
     #[test]

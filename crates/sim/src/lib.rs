@@ -54,11 +54,13 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod job;
+pub mod modulation;
 pub mod probe;
 pub mod time;
 
 pub use config::{BackgroundLoadConfig, FaultConfig, GridConfig, LatencyMode, SiteConfig};
 pub use engine::{Controller, EngineStats, GridSimulation, Notification};
 pub use job::{JobId, JobRecord, JobState};
+pub use modulation::{Modulation, MIN_INTENSITY};
 pub use probe::ProbeHarness;
 pub use time::{SimDuration, SimTime};

@@ -39,6 +39,7 @@ pub mod integrate;
 pub mod optimize;
 pub mod rng;
 pub mod stepfn;
+pub mod streaming;
 pub mod summary;
 
 pub use bootstrap::{bootstrap_ci, ConfidenceInterval};
@@ -49,4 +50,5 @@ pub use ecdf::Ecdf;
 pub use fit::{fit_exponential, fit_lognormal, fit_pareto, fit_weibull, ks_statistic, FitReport};
 pub use hazard::{HazardProfile, HazardTrend};
 pub use stepfn::StepFn;
+pub use streaming::{Observation, StreamingEcdf};
 pub use summary::Summary;

@@ -1,0 +1,384 @@
+//! Windowed, censoring-aware streaming latency estimation.
+//!
+//! An online-adapting submission strategy observes its *own* job outcomes
+//! as it runs: jobs that started yield an exact latency, jobs it cancelled
+//! at its timeout (or that were still pending when the task finished) are
+//! **right-censored** — all that is known is that the latency exceeded the
+//! observed waiting time. [`StreamingEcdf`] ingests that stream and
+//! maintains two complementary views of the recent law:
+//!
+//! * a **sliding window** of the last `window` observations, from which
+//!   [`StreamingEcdf::snapshot`] materialises an ordinary [`Ecdf`] —
+//!   reusing the crate's exact prefix-table machinery, so every strategy
+//!   kernel (survival integrals, powered/product variants) is available on
+//!   the live estimate at the usual O(log n) cost;
+//! * **exponentially-decayed scalar summaries** (body mean, censored
+//!   fraction, effective sample weight) whose decay factor discounts old
+//!   observations smoothly — the drift signals a retuning policy reacts
+//!   to, available even when the window is not yet full.
+//!
+//! Censored observations are conservative in the snapshot: the window ECDF
+//! counts them as outlier mass (their latency is only known to exceed the
+//! censor time), so `F̃` is never over-estimated beyond what was actually
+//! observed. Retuning policies that need to *raise* a timeout past the
+//! censor point must bring tail information of their own (see the
+//! `ScaledPrior` policy in `gridstrat-core`), or grow multiplicatively off
+//! the decayed censored fraction (the `EmpiricalBackoff` policy).
+
+use crate::ecdf::{Ecdf, EcdfError};
+use std::collections::VecDeque;
+
+/// One observation in the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Observation {
+    /// A job started after exactly this latency (seconds).
+    Started(f64),
+    /// A job was abandoned after waiting this long without starting — its
+    /// latency is right-censored at this value.
+    Censored(f64),
+}
+
+impl Observation {
+    /// The observed waiting time, regardless of kind.
+    pub fn value(self) -> f64 {
+        match self {
+            Observation::Started(x) | Observation::Censored(x) => x,
+        }
+    }
+
+    /// Whether the observation is right-censored.
+    pub fn is_censored(self) -> bool {
+        matches!(self, Observation::Censored(_))
+    }
+}
+
+/// Windowed, censoring-aware streaming estimator of a defective latency
+/// law (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use gridstrat_stats::streaming::StreamingEcdf;
+///
+/// let mut est = StreamingEcdf::new(100, 0.95, 10_000.0).unwrap();
+/// for x in [120.0, 250.0, 400.0] {
+///     est.observe_started(x);
+/// }
+/// est.observe_censored(600.0); // cancelled at the strategy's timeout
+/// let ecdf = est.snapshot().unwrap();
+/// assert_eq!(ecdf.n_total(), 4);
+/// assert_eq!(ecdf.n_body(), 3);
+/// assert!(est.decayed_censored_fraction() > 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingEcdf {
+    /// Maximum observations retained for the snapshot window.
+    window: usize,
+    /// Per-observation decay factor in `(0, 1]` for the scalar summaries.
+    decay: f64,
+    /// Censoring threshold stamped on snapshots (body samples at/above it
+    /// are treated as outliers, exactly like [`Ecdf::from_samples`]).
+    threshold: f64,
+    buf: VecDeque<Observation>,
+    /// Decayed total observation weight `Σ decay^age`.
+    ew_weight: f64,
+    /// Decayed weight of censored observations.
+    ew_censored: f64,
+    /// Decayed sum and weight of *started* latencies (for the body mean).
+    ew_body_sum: f64,
+    ew_body_weight: f64,
+    /// Decayed sum of **all** observation values — for a job abandoned at
+    /// `c` the value is `c`, i.e. the sum estimates `E[min(R, censor)]`,
+    /// the quantity that equals the survival integral `A(t∞)` when every
+    /// censor point is the strategy timeout.
+    ew_value_sum: f64,
+    /// Lifetime observation count (window-independent).
+    seen: u64,
+}
+
+impl StreamingEcdf {
+    /// Creates an estimator; `window > 0`, `decay ∈ (0, 1]`,
+    /// `threshold > 0`.
+    pub fn new(window: usize, decay: f64, threshold: f64) -> Result<Self, String> {
+        if window == 0 {
+            return Err("window must hold at least one observation".into());
+        }
+        if !(decay.is_finite() && decay > 0.0 && decay <= 1.0) {
+            return Err(format!("decay must be in (0, 1], got {decay}"));
+        }
+        if !(threshold.is_finite() && threshold > 0.0) {
+            return Err(format!("threshold must be positive, got {threshold}"));
+        }
+        Ok(StreamingEcdf {
+            window,
+            decay,
+            threshold,
+            buf: VecDeque::with_capacity(window),
+            ew_weight: 0.0,
+            ew_censored: 0.0,
+            ew_body_sum: 0.0,
+            ew_body_weight: 0.0,
+            ew_value_sum: 0.0,
+            seen: 0,
+        })
+    }
+
+    /// Ingests one observation.
+    pub fn observe(&mut self, obs: Observation) {
+        let x = obs.value();
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "observations must be finite and non-negative, got {x}"
+        );
+        if self.buf.len() == self.window {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(obs);
+        self.ew_weight = self.decay * self.ew_weight + 1.0;
+        self.ew_censored *= self.decay;
+        self.ew_body_sum *= self.decay;
+        self.ew_body_weight *= self.decay;
+        self.ew_value_sum = self.decay * self.ew_value_sum + x;
+        match obs {
+            Observation::Started(v) => {
+                self.ew_body_sum += v;
+                self.ew_body_weight += 1.0;
+            }
+            Observation::Censored(_) => self.ew_censored += 1.0,
+        }
+        self.seen += 1;
+    }
+
+    /// Ingests an exact (started-job) latency.
+    pub fn observe_started(&mut self, latency: f64) {
+        self.observe(Observation::Started(latency));
+    }
+
+    /// Ingests a right-censored waiting time.
+    pub fn observe_censored(&mut self, waited: f64) {
+        self.observe(Observation::Censored(waited));
+    }
+
+    /// Forgets everything — back to the just-constructed state, keeping
+    /// the window allocation (the fleet/adaptive reset path).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.ew_weight = 0.0;
+        self.ew_censored = 0.0;
+        self.ew_body_sum = 0.0;
+        self.ew_body_weight = 0.0;
+        self.ew_value_sum = 0.0;
+        self.seen = 0;
+    }
+
+    /// Observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no observation has been ingested (or all were cleared).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Started (non-censored) observations currently in the window.
+    pub fn n_body(&self) -> usize {
+        self.buf.iter().filter(|o| !o.is_censored()).count()
+    }
+
+    /// Lifetime observations ingested (not bounded by the window).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The window capacity.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The scalar-summary decay factor.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// The censoring threshold stamped on snapshots.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Exponentially-decayed mean of the started latencies
+    /// (`NaN` before the first started observation).
+    pub fn decayed_body_mean(&self) -> f64 {
+        self.ew_body_sum / self.ew_body_weight
+    }
+
+    /// Exponentially-decayed fraction of censored observations
+    /// (`NaN` before the first observation).
+    pub fn decayed_censored_fraction(&self) -> f64 {
+        self.ew_censored / self.ew_weight
+    }
+
+    /// Exponentially-decayed mean of **all** observation values — started
+    /// latencies at their value, abandoned jobs at their censor time. When
+    /// every censor point is the strategy timeout `t∞`, this estimates
+    /// `E[min(R, t∞)] = ∫₀^{t∞}(1 − F̃)`, the survival integral the
+    /// scale-tracking retune policy matches against. `NaN` before the
+    /// first observation.
+    pub fn decayed_value_mean(&self) -> f64 {
+        self.ew_value_sum / self.ew_weight
+    }
+
+    /// Effective sample size of the decayed summaries
+    /// (`(1 - decay^n) / (1 - decay)`; equals `n` when `decay = 1`).
+    pub fn effective_weight(&self) -> f64 {
+        self.ew_weight
+    }
+
+    /// Materialises the window as an exact [`Ecdf`]: started observations
+    /// below the threshold form the body, censored observations (and
+    /// started ones at/above the threshold) count as outlier mass.
+    ///
+    /// Errors when the window is empty or holds no body sample — the same
+    /// degenerate cases [`Ecdf`] construction rejects.
+    pub fn snapshot(&self) -> Result<Ecdf, EcdfError> {
+        if self.buf.is_empty() {
+            return Err(EcdfError::Empty);
+        }
+        let mut body: Vec<f64> = self
+            .buf
+            .iter()
+            .filter_map(|o| match o {
+                Observation::Started(x) if *x < self.threshold => Some(*x),
+                _ => None,
+            })
+            .collect();
+        let n_outliers = self.buf.len() - body.len();
+        body.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+        Ecdf::from_sorted_body_and_outliers(body, n_outliers, self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(StreamingEcdf::new(0, 0.9, 100.0).is_err());
+        assert!(StreamingEcdf::new(10, 0.0, 100.0).is_err());
+        assert!(StreamingEcdf::new(10, 1.1, 100.0).is_err());
+        assert!(StreamingEcdf::new(10, 0.9, 0.0).is_err());
+        assert!(StreamingEcdf::new(10, 1.0, 100.0).is_ok());
+    }
+
+    #[test]
+    fn snapshot_matches_batch_ecdf_on_same_window() {
+        let mut est = StreamingEcdf::new(64, 0.97, 1_000.0).unwrap();
+        let xs = [10.0, 400.0, 30.0, 999.0, 70.0, 5.0];
+        for &x in &xs {
+            est.observe_started(x);
+        }
+        est.observe_censored(600.0);
+        let snap = est.snapshot().unwrap();
+        // batch equivalent: the started values as samples + one censored
+        // counted as an outlier
+        let batch = Ecdf::from_sorted_body_and_outliers(
+            vec![5.0, 10.0, 30.0, 70.0, 400.0, 999.0],
+            1,
+            1_000.0,
+        )
+        .unwrap();
+        assert_eq!(snap.n_total(), batch.n_total());
+        for t in [0.0, 7.0, 50.0, 500.0, 2_000.0] {
+            assert_eq!(snap.value(t).to_bits(), batch.value(t).to_bits());
+            assert_eq!(
+                snap.survival_integral(t).to_bits(),
+                batch.survival_integral(t).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut est = StreamingEcdf::new(3, 1.0, 1_000.0).unwrap();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            est.observe_started(x);
+        }
+        assert_eq!(est.len(), 3);
+        assert_eq!(est.seen(), 5);
+        let snap = est.snapshot().unwrap();
+        assert_eq!(snap.body(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn started_at_or_above_threshold_counts_as_outlier() {
+        let mut est = StreamingEcdf::new(8, 1.0, 100.0).unwrap();
+        est.observe_started(50.0);
+        est.observe_started(100.0); // exactly at the threshold: censored
+        let snap = est.snapshot().unwrap();
+        assert_eq!(snap.n_body(), 1);
+        assert_eq!(snap.n_total(), 2);
+    }
+
+    #[test]
+    fn decayed_summaries_track_drift() {
+        let mut est = StreamingEcdf::new(1_000, 0.9, 10_000.0).unwrap();
+        for _ in 0..200 {
+            est.observe_started(100.0);
+        }
+        assert!((est.decayed_body_mean() - 100.0).abs() < 1e-9);
+        assert!(est.decayed_censored_fraction() < 1e-9);
+        // the law shifts up and starts censoring: the decayed view follows
+        // quickly even though the window still holds the old observations
+        for _ in 0..40 {
+            est.observe_started(500.0);
+            est.observe_censored(600.0);
+        }
+        assert!(
+            est.decayed_body_mean() > 400.0,
+            "{}",
+            est.decayed_body_mean()
+        );
+        assert!(
+            (est.decayed_censored_fraction() - 0.5).abs() < 0.05,
+            "{}",
+            est.decayed_censored_fraction()
+        );
+        // effective weight saturates near 1/(1-decay)
+        assert!((est.effective_weight() - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn decay_one_reduces_to_plain_running_stats() {
+        let mut est = StreamingEcdf::new(100, 1.0, 10_000.0).unwrap();
+        for x in [10.0, 20.0, 30.0] {
+            est.observe_started(x);
+        }
+        est.observe_censored(40.0);
+        assert!((est.decayed_body_mean() - 20.0).abs() < 1e-12);
+        assert!((est.decayed_censored_fraction() - 0.25).abs() < 1e-12);
+        assert!((est.effective_weight() - 4.0).abs() < 1e-12);
+        // value mean covers censored observations at their censor time
+        assert!((est.decayed_value_mean() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_snapshots_error() {
+        let mut est = StreamingEcdf::new(4, 0.9, 100.0).unwrap();
+        assert_eq!(est.snapshot().unwrap_err(), EcdfError::Empty);
+        est.observe_censored(50.0);
+        assert_eq!(est.snapshot().unwrap_err(), EcdfError::AllOutliers);
+        est.observe_started(10.0);
+        assert!(est.snapshot().is_ok());
+        est.clear();
+        assert_eq!(est.snapshot().unwrap_err(), EcdfError::Empty);
+        assert_eq!(est.seen(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_invalid_observations() {
+        let mut est = StreamingEcdf::new(4, 0.9, 100.0).unwrap();
+        est.observe_started(f64::NAN);
+    }
+}

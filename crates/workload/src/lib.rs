@@ -33,10 +33,21 @@ pub mod trace;
 pub mod weeks;
 
 pub use model::WeekModel;
-pub use nonstationary::DiurnalModel;
+pub use nonstationary::{DiurnalModel, RegimeShiftModel};
 pub use trace::{ProbeRecord, ProbeStatus, TraceSet};
 pub use weeks::{WeekId, WeekTargets, PAPER_TABLE1};
 
 /// The paper's censoring threshold: probes not started after 10 000 s are
 /// cancelled and counted as outliers (§3.2).
 pub const CENSOR_THRESHOLD_S: f64 = 10_000.0;
+
+/// Hard ceiling on any scaled/modulated fault ratio or fault probability.
+///
+/// Every path that multiplies a calibrated `ρ` (or a pipeline fault
+/// probability) by a scenario or modulation factor clamps the result to
+/// `[0, MAX_FAULT_RATIO]`: [`WeekModel::modulated`],
+/// [`DiurnalModel::rho_at`], `GridScenario::apply` / `apply_grid` in
+/// `gridstrat-core`, and the live modulation hooks in `gridstrat-sim`.
+/// A single shared constant keeps their saturation behaviour identical —
+/// the clamps had drifted apart (0.9 vs 0.95) before it existed.
+pub const MAX_FAULT_RATIO: f64 = 0.95;

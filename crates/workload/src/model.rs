@@ -124,6 +124,30 @@ impl WeekModel {
         (1.0 - self.rho) * self.body().cdf(t)
     }
 
+    /// The instantaneous law of this week under a load modulation: the
+    /// queue-wait component above the hard floor `shift_s` is scaled by
+    /// `intensity` (for a shifted log-normal that is exactly
+    /// `μ += ln intensity`) and the fault ratio is multiplied by
+    /// `fault_factor`, clamped to `[0, MAX_FAULT_RATIO]`.
+    ///
+    /// This is the *analytic* counterpart of the per-submission scaling the
+    /// live engine applies under an active `Modulation` — regret accounting
+    /// tunes oracle strategies against exactly this law.
+    pub fn modulated(&self, intensity: f64, fault_factor: f64) -> WeekModel {
+        assert!(
+            intensity.is_finite() && intensity > 0.0,
+            "intensity factor must be positive, got {intensity}"
+        );
+        assert!(
+            fault_factor.is_finite() && fault_factor >= 0.0,
+            "fault factor must be non-negative, got {fault_factor}"
+        );
+        let mut out = self.clone();
+        out.body_mu = self.body_mu + intensity.ln();
+        out.rho = (self.rho * fault_factor).clamp(0.0, crate::MAX_FAULT_RATIO);
+        out
+    }
+
     /// Serialises the model parameters to JSON (archival sidecar of a
     /// synthesised trace).
     pub fn to_json(&self) -> String {

@@ -2,14 +2,22 @@
 //!
 //! The paper stresses that production grids exhibit “high and
 //! non-stationary workloads” (§1) yet its analysis treats each week as one
-//! stationary law. This module supplies the missing ingredient for
-//! studying that approximation: a [`DiurnalModel`] whose latency body and
-//! fault ratio oscillate with a configurable period (daytime congestion vs
-//! night-time calm), so one can generate traces that *violate* the
-//! stationarity assumption and measure how much tuned timeouts degrade.
+//! stationary law. This module supplies the missing ingredients for
+//! studying that approximation:
+//!
+//! * [`DiurnalModel`] — latency body and fault ratio oscillate with a
+//!   configurable period (daytime congestion vs night-time calm);
+//! * [`RegimeShiftModel`] — piecewise-constant load regimes separated by
+//!   changepoints (the abrupt shifts grid-workload mining studies report).
+//!
+//! Both synthesise offline traces that *violate* the stationarity
+//! assumption, and both plug into the live engine as `Modulation`
+//! implementations (see `gridstrat-sim`), so tuned timeouts can be
+//! stress-tested against drifting grids end to end.
 
 use crate::model::{WeekModel, PROBES_IN_FLIGHT};
 use crate::trace::{ProbeRecord, ProbeStatus, TraceSet};
+use crate::MAX_FAULT_RATIO;
 use gridstrat_stats::rng::derived_rng;
 use gridstrat_stats::{Distribution, LogNormal, Shifted};
 use rand::Rng;
@@ -51,13 +59,28 @@ impl DiurnalModel {
         1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period_s).sin()
     }
 
-    /// The instantaneous fault ratio at time `t`.
+    /// The instantaneous fault ratio at time `t` (clamped to the shared
+    /// [`MAX_FAULT_RATIO`] ceiling, like every other fault-scaling path).
     pub fn rho_at(&self, t: f64) -> f64 {
-        (self.base.rho * self.intensity_at(t)).clamp(0.0, 0.95)
+        (self.base.rho * self.intensity_at(t)).clamp(0.0, MAX_FAULT_RATIO)
+    }
+
+    /// The frozen instantaneous law at time `t`: the base week with its
+    /// queue-wait scaled by [`DiurnalModel::intensity_at`] and its fault
+    /// ratio by the same factor — what an omniscient tuner would optimise
+    /// against at that instant.
+    pub fn model_at(&self, t: f64) -> WeekModel {
+        let f = self.intensity_at(t);
+        self.base.modulated(f, f)
     }
 
     /// Draws a raw latency for a job submitted at time `t`: the body scale
-    /// (above the shift) is multiplied by the intensity factor.
+    /// (above the shift) is multiplied by the intensity factor. The result
+    /// never drops below the hard floor `shift_s` — the floor models
+    /// incompressible middleware delays (credential delegation,
+    /// match-making, dispatch) that no amount of night-time calm removes,
+    /// and the explicit clamp guards the `amplitude → 1` edge where the
+    /// intensity factor approaches zero.
     pub fn sample_latency_at<R: Rng + ?Sized>(&self, rng: &mut R, t: f64) -> f64 {
         let intensity = self.intensity_at(t);
         if rng.gen::<f64>() < self.rho_at(t) {
@@ -67,7 +90,8 @@ impl DiurnalModel {
                 .expect("validated base model");
             let body = Shifted::new(ln, self.base.shift_s).expect("validated base model");
             // scale the queue-wait component, keep the hard floor
-            self.base.shift_s + (body.sample(rng) - self.base.shift_s) * intensity
+            (self.base.shift_s + (body.sample(rng) - self.base.shift_s) * intensity)
+                .max(self.base.shift_s)
         }
     }
 
@@ -103,6 +127,164 @@ impl DiurnalModel {
         });
         TraceSet::new(
             format!("{}-diurnal", self.base.name),
+            self.base.threshold_s,
+            records,
+        )
+        .expect("generated records are consistent by construction")
+    }
+}
+
+/// A piecewise-constant load-regime model: the grid operates in regime
+/// `i` between changepoints `t_i` and `t_{i+1}`, each regime scaling the
+/// base week's queue-wait (`intensities[i]`) and fault ratio
+/// (`fault_factors[i]`) by its own constant factor.
+///
+/// This is the changepoint structure workload-mining studies extract from
+/// production grid logs (maintenance windows, conference deadlines, VO
+/// production campaigns): unlike the smooth [`DiurnalModel`], regimes
+/// switch abruptly — the hardest case for an online-adapting strategy,
+/// whose whole observation window turns stale in one instant.
+#[derive(Debug, Clone)]
+pub struct RegimeShiftModel {
+    /// The stationary base model every regime scales.
+    pub base: WeekModel,
+    /// Regime boundaries in seconds, strictly increasing and positive.
+    /// Regime `0` covers `[0, changepoints[0])`, regime `i` covers
+    /// `[changepoints[i-1], changepoints[i])`, the last regime is open.
+    pub changepoints: Vec<f64>,
+    /// Queue-wait scale factor of each regime
+    /// (`changepoints.len() + 1` entries, all positive).
+    pub intensities: Vec<f64>,
+    /// Fault-ratio multiplier of each regime (same length, non-negative;
+    /// the effective ratio is clamped to [`MAX_FAULT_RATIO`]).
+    pub fault_factors: Vec<f64>,
+}
+
+impl RegimeShiftModel {
+    /// Creates a regime-shift model; `intensities` and `fault_factors`
+    /// must both hold exactly `changepoints.len() + 1` entries.
+    pub fn new(
+        base: WeekModel,
+        changepoints: Vec<f64>,
+        intensities: Vec<f64>,
+        fault_factors: Vec<f64>,
+    ) -> Result<Self, String> {
+        if intensities.len() != changepoints.len() + 1 {
+            return Err(format!(
+                "need {} intensities for {} changepoints, got {}",
+                changepoints.len() + 1,
+                changepoints.len(),
+                intensities.len()
+            ));
+        }
+        if fault_factors.len() != intensities.len() {
+            return Err(format!(
+                "need {} fault factors, got {}",
+                intensities.len(),
+                fault_factors.len()
+            ));
+        }
+        if changepoints.iter().any(|&t| !(t.is_finite() && t > 0.0))
+            || changepoints.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err("changepoints must be positive, finite and strictly increasing".into());
+        }
+        if intensities.iter().any(|&f| !(f.is_finite() && f > 0.0)) {
+            return Err("regime intensities must be positive and finite".into());
+        }
+        if fault_factors.iter().any(|&f| !(f.is_finite() && f >= 0.0)) {
+            return Err("regime fault factors must be non-negative and finite".into());
+        }
+        Ok(RegimeShiftModel {
+            base,
+            changepoints,
+            intensities,
+            fault_factors,
+        })
+    }
+
+    /// A two-regime convenience: `calm` until `t_shift`, `storm` after —
+    /// the canonical "the grid degraded mid-campaign" experiment. The
+    /// storm regime scales both queue-wait and fault ratio by `storm`.
+    pub fn step(base: WeekModel, t_shift: f64, calm: f64, storm: f64) -> Result<Self, String> {
+        RegimeShiftModel::new(base, vec![t_shift], vec![calm, storm], vec![calm, storm])
+    }
+
+    /// Index of the regime active at time `t` (times before 0 fall into
+    /// regime 0).
+    pub fn regime_at(&self, t: f64) -> usize {
+        self.changepoints.partition_point(|&c| c <= t)
+    }
+
+    /// The queue-wait intensity factor at time `t`.
+    pub fn intensity_at(&self, t: f64) -> f64 {
+        self.intensities[self.regime_at(t)]
+    }
+
+    /// The fault-ratio multiplier at time `t`.
+    pub fn fault_factor_at(&self, t: f64) -> f64 {
+        self.fault_factors[self.regime_at(t)]
+    }
+
+    /// The instantaneous fault ratio at time `t` (clamped to
+    /// [`MAX_FAULT_RATIO`]).
+    pub fn rho_at(&self, t: f64) -> f64 {
+        (self.base.rho * self.fault_factor_at(t)).clamp(0.0, MAX_FAULT_RATIO)
+    }
+
+    /// The frozen instantaneous law at time `t`.
+    pub fn model_at(&self, t: f64) -> WeekModel {
+        self.base
+            .modulated(self.intensity_at(t), self.fault_factor_at(t))
+    }
+
+    /// Draws a raw latency for a job submitted at time `t`, scaling the
+    /// queue-wait component by the active regime's intensity (floored at
+    /// `shift_s`, like [`DiurnalModel::sample_latency_at`]).
+    pub fn sample_latency_at<R: Rng + ?Sized>(&self, rng: &mut R, t: f64) -> f64 {
+        let intensity = self.intensity_at(t);
+        if rng.gen::<f64>() < self.rho_at(t) {
+            self.base.outlier_tail().sample(rng)
+        } else {
+            let ln = LogNormal::new(self.base.body_mu, self.base.body_sigma)
+                .expect("validated base model");
+            let body = Shifted::new(ln, self.base.shift_s).expect("validated base model");
+            (self.base.shift_s + (body.sample(rng) - self.base.shift_s) * intensity)
+                .max(self.base.shift_s)
+        }
+    }
+
+    /// Synthesises a probe trace with the constant-in-flight methodology,
+    /// the latency law switching regimes at the configured changepoints.
+    pub fn generate(&self, n: usize, seed: u64) -> TraceSet {
+        assert!(n > 0, "cannot generate an empty trace");
+        let mut rng = derived_rng(seed, 2);
+        let slots = PROBES_IN_FLIGHT.min(n);
+        let mut next_submit = vec![0.0f64; slots];
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let slot = i % slots;
+            let submitted_at = next_submit[slot];
+            let raw = self.sample_latency_at(&mut rng, submitted_at);
+            let (latency_s, status) = if raw >= self.base.threshold_s {
+                (self.base.threshold_s, ProbeStatus::TimedOut)
+            } else {
+                (raw, ProbeStatus::Completed)
+            };
+            next_submit[slot] = submitted_at + latency_s;
+            records.push(ProbeRecord {
+                submitted_at,
+                latency_s,
+                status,
+            });
+        }
+        records.sort_by(|a, b| {
+            a.submitted_at
+                .partial_cmp(&b.submitted_at)
+                .expect("finite timestamps")
+        });
+        TraceSet::new(
+            format!("{}-regimes", self.base.name),
             self.base.threshold_s,
             records,
         )
@@ -189,5 +371,123 @@ mod tests {
     fn generation_is_deterministic() {
         let m = DiurnalModel::new(base(), 0.5, 86_400.0).unwrap();
         assert_eq!(m.generate(500, 11).records, m.generate(500, 11).records);
+    }
+
+    #[test]
+    fn rho_at_clamps_to_shared_ceiling() {
+        // a high-fault base pushed by the peak factor must saturate at the
+        // shared constant, not a private 0.95 (or the drifted 0.9)
+        let hot = WeekModel::calibrate("hot", 500.0, 600.0, 0.8, 150.0, 10_000.0).unwrap();
+        let m = DiurnalModel::new(hot, 0.9, 86_400.0).unwrap();
+        let peak = m.rho_at(21_600.0); // intensity 1.9 -> 0.8*1.9 = 1.52
+        assert_eq!(peak, MAX_FAULT_RATIO);
+        assert!(m.rho_at(64_800.0) < MAX_FAULT_RATIO); // trough: 0.08
+    }
+
+    #[test]
+    fn modulated_latencies_never_drop_below_the_floor() {
+        // property test over random (amplitude, period, t): the sampled
+        // latency respects the hard floor even as amplitude -> 1 drives
+        // the intensity factor toward zero
+        let b = base();
+        let shift = b.shift_s;
+        let mut rng = derived_rng(0xF100, 0);
+        for case in 0..200u64 {
+            let amplitude = 0.999 * rng.gen::<f64>();
+            let period = 60.0 + rng.gen::<f64>() * 200_000.0;
+            let m = DiurnalModel::new(b.clone(), amplitude, period).unwrap();
+            for _ in 0..25 {
+                let t = rng.gen::<f64>() * 10.0 * period;
+                assert!(m.intensity_at(t) > 0.0, "case {case}: intensity sign");
+                let x = m.sample_latency_at(&mut rng, t);
+                assert!(
+                    x >= shift,
+                    "case {case}: latency {x} below floor {shift} \
+                     (amplitude {amplitude}, period {period}, t {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_at_matches_pointwise_scaling() {
+        let m = DiurnalModel::new(base(), 0.6, 86_400.0).unwrap();
+        let t = 21_600.0; // quarter period: intensity 1.6
+        let law = m.model_at(t);
+        assert!((law.rho - m.rho_at(t)).abs() < 1e-12);
+        // body mean above the shift scales by the intensity factor
+        let want = law.shift_s + (base().body_mean() - base().shift_s) * 1.6;
+        assert!((law.body_mean() - want).abs() / want < 1e-9);
+        assert_eq!(law.shift_s, base().shift_s, "the floor must not scale");
+    }
+
+    // --- regime shifts -------------------------------------------------------
+
+    #[test]
+    fn regime_shift_validation() {
+        let b = base();
+        assert!(RegimeShiftModel::new(b.clone(), vec![100.0], vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(RegimeShiftModel::new(b.clone(), vec![100.0], vec![1.0, 2.0], vec![1.0]).is_err());
+        assert!(RegimeShiftModel::new(
+            b.clone(),
+            vec![200.0, 100.0],
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0]
+        )
+        .is_err());
+        assert!(
+            RegimeShiftModel::new(b.clone(), vec![100.0], vec![1.0, 0.0], vec![1.0, 1.0]).is_err()
+        );
+        assert!(RegimeShiftModel::step(b, 3_600.0, 1.0, 2.5).is_ok());
+    }
+
+    #[test]
+    fn regime_lookup_is_piecewise_constant() {
+        let m = RegimeShiftModel::new(
+            base(),
+            vec![1_000.0, 5_000.0],
+            vec![0.5, 1.0, 2.0],
+            vec![1.0, 1.0, 3.0],
+        )
+        .unwrap();
+        assert_eq!(m.regime_at(0.0), 0);
+        assert_eq!(m.regime_at(999.9), 0);
+        assert_eq!(m.regime_at(1_000.0), 1);
+        assert_eq!(m.regime_at(4_999.0), 1);
+        assert_eq!(m.regime_at(5_000.0), 2);
+        assert!((m.intensity_at(0.0) - 0.5).abs() < 1e-12);
+        assert!((m.intensity_at(6_000.0) - 2.0).abs() < 1e-12);
+        assert!((m.fault_factor_at(6_000.0) - 3.0).abs() < 1e-12);
+        // the clamp goes through the shared ceiling
+        let hot = WeekModel::calibrate("hot", 500.0, 600.0, 0.5, 150.0, 10_000.0).unwrap();
+        let m = RegimeShiftModel::step(hot, 100.0, 1.0, 10.0).unwrap();
+        assert_eq!(m.rho_at(200.0), MAX_FAULT_RATIO);
+    }
+
+    #[test]
+    fn regime_storm_is_slower_than_calm() {
+        let m = RegimeShiftModel::step(base(), 40_000.0, 1.0, 2.0).unwrap();
+        let trace = m.generate(8_000, 9);
+        let (mut calm, mut storm) = (Vec::new(), Vec::new());
+        for r in &trace.records {
+            if r.is_outlier() {
+                continue;
+            }
+            if r.submitted_at < 40_000.0 {
+                calm.push(r.latency_s);
+            } else {
+                storm.push(r.latency_s);
+            }
+        }
+        assert!(calm.len() > 200 && storm.len() > 200);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&storm) > 1.4 * mean(&calm),
+            "storm {} vs calm {}",
+            mean(&storm),
+            mean(&calm)
+        );
+        // determinism
+        assert_eq!(m.generate(300, 4).records, m.generate(300, 4).records);
     }
 }

@@ -94,10 +94,12 @@ fn main() {
                 StrategyGroup {
                     strategy: StrategyParams::Single { t_inf: T_INF },
                     weight: 0.5,
+                    adaptive: None,
                 },
                 StrategyGroup {
                     strategy: StrategyParams::Multiple { b: 2, t_inf: T_INF },
                     weight: 0.25,
+                    adaptive: None,
                 },
                 StrategyGroup {
                     strategy: StrategyParams::Delayed {
@@ -105,6 +107,7 @@ fn main() {
                         t_inf: T_INF,
                     },
                     weight: 0.25,
+                    adaptive: None,
                 },
             ],
         ),

@@ -17,8 +17,9 @@
 //! * [`core`] — the paper's contribution: latency models, the three
 //!   submission strategies (single / multiple / delayed resubmission),
 //!   timeout optimization, the `∆cost` criterion, stability and cross-week
-//!   transfer analyses, and Monte-Carlo strategy executors
-//!   ([`gridstrat_core`]).
+//!   transfer analyses, Monte-Carlo strategy executors, and the
+//!   online-adaptation layer (adaptive strategies with regret accounting
+//!   on nonstationary live grids) ([`gridstrat_core`]).
 //! * [`fleet`] — the multi-user ecosystem simulator (the paper's §8
 //!   future work): populations of heterogeneous strategies multiplexed
 //!   onto one shared grid, strategy-mix sweeps, fairness / slot-waste /
@@ -48,6 +49,11 @@ pub use gridstrat_workload as workload;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
+    pub use gridstrat_core::adaptive::{
+        run_adaptive_sequence, run_fixed_sequence, AdaptiveCellOutcome, AdaptiveConfig,
+        AdaptiveStrategy, AdaptiveSweep, RegretFrontier, RetunePolicy, SequenceOutcome,
+        SequenceSummary, TaskRecord,
+    };
     pub use gridstrat_core::application::{batch_outcome, BatchOutcome, JSampler};
     pub use gridstrat_core::cost::{
         cost_point, delayed_cost_profile, delayed_delta_cost_at, delta_cost, multiple_cost_profile,
@@ -71,14 +77,15 @@ pub mod prelude {
         FleetRun, FleetSweep, GroupReport, StrategyGroup, StrategyMix, UserOutcome,
     };
     pub use gridstrat_sim::{
-        Controller, GridConfig, GridSimulation, JobId, JobRecord, JobState, Notification,
-        ProbeHarness, SimDuration, SimTime,
+        Controller, GridConfig, GridSimulation, JobId, JobRecord, JobState, Modulation,
+        Notification, ProbeHarness, SimDuration, SimTime,
     };
     pub use gridstrat_stats::{
         bootstrap_ci, ConfidenceInterval, Distribution, Ecdf, HazardProfile, HazardTrend,
-        LogNormal, Shifted, Summary, Weibull,
+        LogNormal, Shifted, StreamingEcdf, Summary, Weibull,
     };
     pub use gridstrat_workload::{
-        DiurnalModel, ProbeStatus, TraceSet, WeekId, WeekModel, CENSOR_THRESHOLD_S,
+        DiurnalModel, ProbeStatus, RegimeShiftModel, TraceSet, WeekId, WeekModel,
+        CENSOR_THRESHOLD_S, MAX_FAULT_RATIO,
     };
 }
