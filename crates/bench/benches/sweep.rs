@@ -18,6 +18,12 @@
 //! subsystem (`gridstrat-fleet`), writing `BENCH_fleet.json` with the
 //! community-tasks-per-second throughput point.
 //!
+//! [`bench_fleet_scale_trajectory`] measures the community-scale regime:
+//! a 100 000-user population sharded across 8 engines
+//! (`gridstrat_fleet::ShardedFleet`, bounded-memory streaming metrics),
+//! writing `BENCH_scale.json` next to the 40-user `BENCH_fleet.json`
+//! point.
+//!
 //! [`bench_adaptive_trajectory`] measures the nonstationary adaptive
 //! subsystem (`gridstrat_core::adaptive`): a full
 //! (amplitude × retune-period) [`AdaptiveSweep`] — tuned-once and
@@ -245,6 +251,90 @@ fn bench_fleet_trajectory(_c: &mut Criterion) {
     }
 }
 
+// --- fleet scale trajectory ---------------------------------------------------
+
+/// Measures a community-scale sharded fleet run — 100 000 users across 8
+/// engine shards with per-epoch background-load exchange and streaming
+/// `O(users + groups)` metrics — and writes `BENCH_scale.json` at the
+/// workspace root: the first throughput point of the community-scale
+/// regime, recorded next to `BENCH_fleet.json`'s 40-user point.
+/// `BENCH_SMOKE=1` shrinks the community and redirects the artefact under
+/// `target/`.
+fn bench_fleet_scale_trajectory(_c: &mut Criterion) {
+    use gridstrat_core::executor::GridScenario as FleetScenario;
+    use gridstrat_fleet::{FleetConfig, ShardedFleet, StrategyGroup, StrategyMix};
+
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let (users, shards, slots, reps) = if smoke {
+        (2_000usize, 2usize, 100usize, 1usize)
+    } else {
+        (100_000, 8, 4_000, 3)
+    };
+    let tasks = 1usize;
+    let mut cfg = FleetConfig::small_farm(slots);
+    cfg.tasks_per_user = tasks;
+    cfg.replications = 1;
+    cfg.seed = 0xF1EE7;
+    let seed = cfg.seed;
+    // a representative population: mostly single-resubmission users with a
+    // bursting minority. Timeouts are sized for community-scale queue
+    // waits (the whole population lands at t = 0, so the back of the
+    // queue waits ~users × exec / slots ≈ 15 000 s); the 40-user point's
+    // 3 000 s timeouts would churn-cancel forever at this scale.
+    let t_inf = 100_000.0;
+    let mix = StrategyMix::new(
+        "mostly-single",
+        vec![
+            StrategyGroup::new(StrategyParams::Single { t_inf }, 0.85),
+            StrategyGroup::new(StrategyParams::Multiple { b: 2, t_inf }, 0.15),
+        ],
+    );
+    let sharded = ShardedFleet::new(cfg, mix, users, shards, FleetScenario::baseline());
+    let tasks_per_run = users * tasks;
+
+    let warm = black_box(sharded.run());
+    assert_eq!(
+        warm.tasks_completed, warm.tasks_total,
+        "scale run must complete every task"
+    );
+    let mut secs: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(sharded.run());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = secs[secs.len() / 2];
+    let tasks_per_sec = tasks_per_run as f64 / median;
+
+    println!(
+        "fleet_scale_trajectory/{}: {users} users x {tasks} task over {shards} shards \
+         ({slots} slots) in {:.3} s median -> {tasks_per_sec:.0} completed tasks/s",
+        if smoke { "smoke" } else { "full" },
+        median,
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"users\": {users},\n    \"shards\": {shards},\n    \"slots\": {slots},\n    \"tasks_per_user\": {tasks},\n    \"tasks_per_run\": {tasks_per_run},\n    \"epoch_s\": {epoch},\n    \"coupling\": {coupling},\n    \"seed\": {seed},\n    \"mode\": \"{mode}\"\n  }},\n  \"current\": {{\n    \"tasks_per_sec\": {tasks_per_sec},\n    \"median_run_secs\": {median},\n    \"reps\": {reps}\n  }},\n  \"reference\": {{\n    \"note\": \"see BENCH_fleet.json for the 40-user single-engine point, measured by the same harness family\"\n  }}\n}}\n",
+        epoch = sharded.epoch_s,
+        coupling = sharded.coupling,
+        mode = if smoke { "smoke" } else { "full" },
+    );
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_scale.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json")
+    };
+    match std::fs::write(path, json) {
+        Ok(()) => println!("fleet_scale_trajectory: wrote {path}"),
+        Err(e) => println!("fleet_scale_trajectory: could not write {path}: {e}"),
+    }
+}
+
 // --- adaptive trajectory ------------------------------------------------------
 
 /// Measures the nonstationary adaptive workload — an `AdaptiveSweep` over
@@ -336,6 +426,7 @@ criterion_group!(
     bench_sweep_single_cell_overhead,
     bench_sweep_trajectory,
     bench_fleet_trajectory,
+    bench_fleet_scale_trajectory,
     bench_adaptive_trajectory
 );
 criterion_main!(benches);

@@ -6,7 +6,7 @@ use gridstrat_core::cost::StrategyParams;
 use gridstrat_core::executor::StrategyController;
 use gridstrat_core::strategy::Strategy;
 use gridstrat_stats::rng::derive_seed;
-use gridstrat_stats::StreamingEcdf;
+use gridstrat_stats::{StreamingEcdf, Summary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,7 +110,9 @@ pub(crate) struct UserAgent {
     /// Engine job-table length at the current task's launch: the agent's
     /// jobs of this task all live at or beyond this index.
     pub(crate) task_job_floor: usize,
-    pub(crate) latencies: Vec<f64>,
+    /// Streaming summary of the user's task latencies — bounded memory,
+    /// so a 100k-user community does not hold one `Vec<f64>` per user.
+    pub(crate) latency: Summary,
     /// The adaptive user's own observation stream (`None` for plain
     /// users). Censoring threshold: the paper's 10 000 s probe cutoff.
     pub(crate) estimator: Option<StreamingEcdf>,
@@ -137,7 +139,7 @@ impl UserAgent {
             tasks_done: 0,
             task_started_s: 0.0,
             task_job_floor: 0,
-            latencies: Vec::new(),
+            latency: Summary::new(),
             estimator,
         }
     }
@@ -160,7 +162,7 @@ impl UserAgent {
         self.tasks_done = 0;
         self.task_started_s = 0.0;
         self.task_job_floor = 0;
-        self.latencies.clear();
+        self.latency = Summary::new();
         if let Some(est) = self.estimator.as_mut() {
             est.clear();
         }

@@ -17,8 +17,9 @@
 //!   dropped instead of corrupting the next task's protocol state.
 
 use crate::agent::{ArrivalProcess, Assignment, UserAgent};
-use crate::metrics::{FleetRun, UserOutcome};
+use crate::metrics::{FleetRun, GroupStream, UserOutcome};
 use crate::mix::MAX_USERS;
+use gridstrat_core::cost::StrategyParams;
 use gridstrat_core::strategy::Strategy;
 use gridstrat_sim::{Controller, GridSimulation, JobId, Notification, SimDuration};
 
@@ -54,9 +55,43 @@ pub struct FleetController {
     tasks_per_user: usize,
     exec: SimDuration,
     arrival: ArrivalProcess,
-    /// Job ids whose start completed a task (the "useful" starts; every
-    /// other client start burned a slot redundantly).
-    winners: Vec<JobId>,
+    /// Bit per engine job id, set for the start that completed a task
+    /// (the "useful" starts; every other client start burned a slot
+    /// redundantly). A plain bitset so [`FleetController::collect`] tests
+    /// membership in O(1) without rebuilding a hash set per collect.
+    winner_bits: Vec<u64>,
+    /// Per-group streaming latency metrics, indexed by group id (`None`
+    /// for groups the apportionment left without members).
+    groups: Vec<Option<GroupStream>>,
+    /// Expected client submissions over the whole run — the engine
+    /// capacity pre-reservation hint.
+    job_hint: usize,
+}
+
+/// Sets bit `id` in a growable bitset.
+fn mark_winner(bits: &mut Vec<u64>, id: JobId) {
+    let (word, bit) = ((id.0 / 64) as usize, id.0 % 64);
+    if word >= bits.len() {
+        bits.resize(word + 1, 0);
+    }
+    bits[word] |= 1 << bit;
+}
+
+/// Tests bit `id` of the bitset.
+fn is_winner(bits: &[u64], id: JobId) -> bool {
+    let (word, bit) = ((id.0 / 64) as usize, id.0 % 64);
+    bits.get(word).is_some_and(|w| w >> bit & 1 == 1)
+}
+
+/// How many jobs one task of this strategy can have in flight — the
+/// per-task factor of the submission-count hint.
+fn burst_width(params: StrategyParams) -> usize {
+    match params {
+        StrategyParams::Single { .. } => 1,
+        StrategyParams::Multiple { b, .. } => b as usize,
+        StrategyParams::Delayed { .. } => 2,
+        StrategyParams::DelayedMultiple { b, .. } => 2 * b as usize,
+    }
 }
 
 impl FleetController {
@@ -64,13 +99,16 @@ impl FleetController {
     ///
     /// `fleet_seed` roots every user's private RNG stream
     /// (`derive_seed(fleet_seed, user)` — see
-    /// [`crate::agent::user_stream_seed`]).
+    /// [`crate::agent::user_stream_seed`]). `group_window` bounds the
+    /// per-group streaming-metrics window (see
+    /// [`crate::mix::FleetConfig::group_window`]).
     pub fn new(
         assignments: &[Assignment],
         tasks_per_user: usize,
         task_exec_s: f64,
         arrival: ArrivalProcess,
         fleet_seed: u64,
+        group_window: usize,
     ) -> Self {
         assert!(!assignments.is_empty(), "a fleet needs at least one user");
         assert!(
@@ -82,6 +120,16 @@ impl FleetController {
             tasks_per_user as u64 <= EPOCH_MASK,
             "tasks_per_user must fit in the 16-bit epoch field"
         );
+        assert!(group_window > 0, "group window must be positive");
+        let n_groups = assignments.iter().map(|a| a.group + 1).max().unwrap_or(0);
+        let mut groups: Vec<Option<GroupStream>> = vec![None; n_groups];
+        let mut job_hint = 0usize;
+        for a in assignments {
+            groups[a.group]
+                .get_or_insert_with(|| GroupStream::new(a.group, a.strategy, 0, group_window))
+                .members += 1;
+            job_hint += tasks_per_user * burst_width(a.strategy);
+        }
         FleetController {
             agents: assignments
                 .iter()
@@ -91,7 +139,9 @@ impl FleetController {
             tasks_per_user,
             exec: SimDuration::from_secs(task_exec_s),
             arrival,
-            winners: Vec::new(),
+            winner_bits: Vec::new(),
+            groups,
+            job_hint,
         }
     }
 
@@ -103,7 +153,10 @@ impl FleetController {
         for (u, agent) in self.agents.iter_mut().enumerate() {
             agent.reset(u, fleet_seed);
         }
-        self.winners.clear();
+        self.winner_bits.iter_mut().for_each(|w| *w = 0);
+        for g in self.groups.iter_mut().flatten() {
+            g.clear();
+        }
     }
 
     /// Number of users in the community.
@@ -159,9 +212,15 @@ impl FleetController {
         };
         // task complete: the wrapped controller reports the absolute start
         // instant of the winning job; task latency is measured from launch
-        agent.latencies.push(j_abs - agent.task_started_s);
+        let task_latency = j_abs - agent.task_started_s;
+        agent.latency.push(task_latency);
         agent.active = false;
         agent.tasks_done += 1;
+        self.groups[self.agents[user].assignment.group]
+            .as_mut()
+            .expect("populated group for an active agent")
+            .observe(task_latency);
+        let agent = &mut self.agents[user];
         let more = agent.tasks_done < self.tasks_per_user;
         // adaptive users: harvest this task's own per-job outcomes (exact
         // latency for started jobs; abandoned waits only count as
@@ -203,7 +262,7 @@ impl FleetController {
             0.0
         };
         if let Notification::JobStarted { id, .. } = ev {
-            self.winners.push(id);
+            mark_winner(&mut self.winner_bits, id);
         }
         if more {
             self.arm_arrival(sim, user, delay);
@@ -217,7 +276,6 @@ impl FleetController {
         let mut useful_busy_s = 0.0;
         let mut client_busy_s = 0.0;
         let mut total_busy_s = 0.0;
-        let winners: std::collections::HashSet<JobId> = self.winners.iter().copied().collect();
         for rec in sim.jobs() {
             let Some(start) = rec.started_at else {
                 continue;
@@ -230,13 +288,13 @@ impl FleetController {
             total_busy_s += busy;
             if matches!(rec.origin, gridstrat_sim::job::JobOrigin::Client) {
                 client_busy_s += busy;
-                if winners.contains(&rec.id) {
+                if is_winner(&self.winner_bits, rec.id) {
                     useful_busy_s += busy;
                 }
             }
         }
         let slots: usize = sim.config().sites.iter().map(|s| s.slots).sum();
-        FleetRun {
+        let run = FleetRun {
             users: self
                 .agents
                 .iter()
@@ -244,9 +302,10 @@ impl FleetController {
                     group: a.assignment.group,
                     strategy: a.assignment.strategy,
                     tasks_done: a.tasks_done,
-                    latencies: a.latencies.clone(),
+                    latency: a.latency,
                 })
                 .collect(),
+            groups: self.groups.clone(),
             tasks_per_user: self.tasks_per_user,
             makespan_s,
             client_submitted: sim.stats().client_submitted,
@@ -255,12 +314,25 @@ impl FleetController {
             client_busy_s,
             total_busy_s,
             slot_capacity_s: slots as f64 * makespan_s,
-        }
+        };
+        // every completed task has exactly one started winner, so a run
+        // collected from a consistent engine can never complete more tasks
+        // than it started jobs — `FleetRun::wasted_starts` saturates only
+        // for truncated records assembled outside this method
+        debug_assert!(
+            run.client_started >= run.tasks_completed() as u64,
+            "collected run completed more tasks than it started jobs"
+        );
+        run
     }
 }
 
 impl Controller for FleetController {
     fn start(&mut self, sim: &mut GridSimulation) {
+        // pre-reserve the engine's job table and event heap for the whole
+        // community's expected protocol traffic (~6 pipeline events per
+        // job), so a 100k-user run never grows them mid-flight
+        sim.reserve(self.job_hint, self.job_hint.saturating_mul(6));
         for user in 0..self.agents.len() {
             let d = self.arrival.initial_delay(&mut self.agents[user].rng);
             self.arm_arrival(sim, user, d);

@@ -233,9 +233,7 @@ impl BestResponseSearch {
                 let mut s = Summary::new();
                 for rep in &runs[0..reps] {
                     for u in rep.users.iter().filter(|u| u.group == c) {
-                        for &l in &u.latencies {
-                            s.push(l);
-                        }
+                        s.merge(&u.latency);
                     }
                 }
                 if s.count() == 0 {
@@ -250,9 +248,7 @@ impl BestResponseSearch {
                 let mut s = Summary::new();
                 for rep in &runs[(1 + d) * reps..(2 + d) * reps] {
                     let probe = rep.users.last().expect("probe user present");
-                    for &l in &probe.latencies {
-                        s.push(l);
-                    }
+                    s.merge(&probe.latency);
                 }
                 s.mean()
             })

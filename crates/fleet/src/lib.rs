@@ -23,6 +23,10 @@
 //!   per-user arrival processes;
 //! * [`FleetSweep`] — (mix × community-size × scenario) grids evaluated
 //!   in one parallel pass, bit-identical for any thread count;
+//! * [`ShardedFleet`] — communities beyond one engine's reach (100k+
+//!   users) partitioned across independent engine shards coupled by
+//!   per-epoch background-load exchange, with bounded-memory streaming
+//!   metrics (`O(users + groups)`, never per-task vectors);
 //! * [`metrics`] — ecosystem metrics: per-strategy latency ECDFs, the
 //!   Jain fairness index, the redundant-slot-waste fraction and farm
 //!   utilisation;
@@ -55,11 +59,13 @@ pub mod controller;
 pub mod equilibrium;
 pub mod metrics;
 pub mod mix;
+pub mod shard;
 pub mod sweep;
 
 pub use agent::{user_stream_seed, ArrivalProcess, Assignment};
 pub use controller::FleetController;
 pub use equilibrium::{BestResponseSearch, BestResponseStep, EquilibriumReport};
-pub use metrics::{jain_index, FleetCellOutcome, FleetRun, GroupReport, UserOutcome};
-pub use mix::{FleetConfig, StrategyGroup, StrategyMix, MAX_USERS};
+pub use metrics::{jain_index, FleetCellOutcome, FleetRun, GroupReport, GroupStream, UserOutcome};
+pub use mix::{apportion, FleetConfig, StrategyGroup, StrategyMix, MAX_USERS};
+pub use shard::{shard_seed, ShardedFleet};
 pub use sweep::{run_cell, FleetSweep, FLEET_STREAM};

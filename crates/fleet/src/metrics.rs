@@ -4,9 +4,19 @@
 //! strategy get"; the fleet metrics answer the administrators' questions —
 //! how fairly is latency distributed across users, what fraction of the
 //! consumed compute was redundant burst copies, and how hot the farm ran.
+//!
+//! # Memory model
+//!
+//! Everything here is **bounded-memory streaming**: a community run
+//! accumulates one [`Summary`] (Welford moments) per user and one
+//! [`GroupStream`] (exact pooled moments + a sliding-window ECDF) per
+//! reporting group, so a replication's metric state is `O(users + groups)`
+//! — independent of how many tasks the community completes. That is what
+//! lets one run scale from the original 40-user communities to 100 000+
+//! users (see [`crate::shard`]) without per-task latency vectors.
 
 use gridstrat_core::cost::StrategyParams;
-use gridstrat_stats::{Ecdf, Summary};
+use gridstrat_stats::{Ecdf, StreamingEcdf, Summary};
 
 /// One user's outcome within a single community run.
 #[derive(Debug, Clone)]
@@ -17,16 +27,79 @@ pub struct UserOutcome {
     pub strategy: StrategyParams,
     /// Tasks the user completed before the run ended.
     pub tasks_done: usize,
-    /// Measured task latencies (launch → first useful start), seconds.
-    pub latencies: Vec<f64>,
+    /// Streaming summary of the user's task latencies (launch → first
+    /// useful start), seconds. Bounded memory: moments and extrema only,
+    /// never the raw per-task vector.
+    pub latency: Summary,
+}
+
+/// Bounded-memory latency stream of one reporting group within a single
+/// community replication: exact pooled moments plus a sliding window of
+/// the most recent task latencies for ECDFs and quantiles.
+#[derive(Debug, Clone)]
+pub struct GroupStream {
+    /// Group index within the population's mix.
+    pub group: usize,
+    /// The strategy the group plays.
+    pub strategy: StrategyParams,
+    /// Users assigned to the group.
+    pub members: usize,
+    /// Exact pooled latency moments (Welford; merging is exact).
+    pub latency: Summary,
+    /// Sliding window over the most recent task latencies (no decay, no
+    /// censoring) — distribution shape on `O(window)` memory.
+    pub window: StreamingEcdf,
+}
+
+impl GroupStream {
+    /// An empty stream for a group of `members` users playing `strategy`,
+    /// windowing the last `window` task latencies.
+    pub fn new(group: usize, strategy: StrategyParams, members: usize, window: usize) -> Self {
+        GroupStream {
+            group,
+            strategy,
+            members,
+            latency: Summary::new(),
+            window: StreamingEcdf::new(window, 1.0, f64::INFINITY)
+                .expect("group windows are validated by FleetConfig"),
+        }
+    }
+
+    /// Ingests one completed-task latency.
+    pub fn observe(&mut self, latency_s: f64) {
+        self.latency.push(latency_s);
+        self.window.observe_started(latency_s);
+    }
+
+    /// Forgets every observation, keeping the window allocation (the
+    /// fleet reset path; membership and strategy are population shape and
+    /// survive).
+    pub fn clear(&mut self) {
+        self.latency = Summary::new();
+        self.window.clear();
+    }
+
+    /// Folds another shard's stream of the *same* group into this one:
+    /// membership adds up, moments merge exactly, and the other window is
+    /// replayed in order (deterministic for a fixed shard order).
+    pub fn merge(&mut self, other: &GroupStream) {
+        debug_assert_eq!(self.group, other.group, "merging different groups");
+        self.members += other.members;
+        self.latency.merge(&other.latency);
+        self.window.absorb(&other.window);
+    }
 }
 
 /// The raw record of one community replication, measured by
-/// [`crate::FleetController::collect`].
+/// [`crate::FleetController::collect`] (or merged from engine shards by
+/// [`crate::ShardedFleet`]).
 #[derive(Debug, Clone)]
 pub struct FleetRun {
     /// Per-user outcomes, in user order.
     pub users: Vec<UserOutcome>,
+    /// Per-group latency streams, indexed by group id; `None` for groups
+    /// the apportionment left without members.
+    pub groups: Vec<Option<GroupStream>>,
     /// Tasks each user was asked to complete.
     pub tasks_per_user: usize,
     /// Simulated time at which the run ended, seconds.
@@ -42,7 +115,8 @@ pub struct FleetRun {
     pub client_busy_s: f64,
     /// Slot-seconds consumed by all starts (client + background).
     pub total_busy_s: f64,
-    /// Slot-seconds the farm offered over the run (`slots × makespan`).
+    /// Slot-seconds the farm offered over the run (`slots × makespan`,
+    /// summed over shards for a sharded run).
     pub slot_capacity_s: f64,
 }
 
@@ -54,8 +128,15 @@ impl FleetRun {
 
     /// Client starts that burned a slot without completing a task
     /// (redundant copies that won the cancellation race).
+    ///
+    /// On a consistent, fully-collected run `client_started ≥
+    /// tasks_completed` (every completed task has exactly one started
+    /// winner), but a *truncated* record — a partial shard merge, a run
+    /// cut mid-collection — can carry more completed tasks than counted
+    /// starts. Those read as zero waste rather than underflowing.
     pub fn wasted_starts(&self) -> u64 {
-        self.client_started - self.tasks_completed() as u64
+        self.client_started
+            .saturating_sub(self.tasks_completed() as u64)
     }
 
     /// Fraction of the community's consumed slot-seconds that were
@@ -80,13 +161,15 @@ impl FleetRun {
     /// Jain fairness index over per-user mean latencies:
     /// `(Σx)² / (n·Σx²)` — `1` when every user sees the same mean latency,
     /// `1/n` when one user absorbs all of it. Users with no completed
-    /// task are excluded; returns `1.0` when fewer than two users qualify.
+    /// task — and any non-finite mean that would poison the index — are
+    /// excluded; returns `1.0` when fewer than two users qualify.
     pub fn fairness(&self) -> f64 {
         jain_index(
             self.users
                 .iter()
-                .filter(|u| !u.latencies.is_empty())
-                .map(|u| u.latencies.iter().sum::<f64>() / u.latencies.len() as f64),
+                .filter(|u| u.latency.count() > 0)
+                .map(|u| u.latency.mean())
+                .filter(|m| m.is_finite()),
         )
     }
 
@@ -94,15 +177,25 @@ impl FleetRun {
     pub fn mean_latency(&self) -> f64 {
         let mut s = Summary::new();
         for u in &self.users {
-            for &l in &u.latencies {
-                s.push(l);
-            }
+            s.merge(&u.latency);
         }
         s.mean()
     }
 }
 
 /// Jain fairness index of an allocation stream.
+///
+/// Semantics, pinned by tests:
+///
+/// * fewer than two values → `1.0` (nothing to be unfair between);
+/// * **all-zero allocations → `1.0`**: `x_i ≡ 0` is the limit of the
+///   all-equal allocation, so it reports perfect fairness by convention —
+///   it is *not* a "no signal" sentinel. Callers that cannot distinguish
+///   "everyone got the same nothing" from "nothing was measured" must
+///   filter unmeasured users out *before* calling (as
+///   [`FleetRun::fairness`] does);
+/// * non-finite inputs propagate (`NaN` out), so a poisoned stream is
+///   loud rather than silently "fair".
 pub fn jain_index(xs: impl IntoIterator<Item = f64>) -> f64 {
     let (mut n, mut sum, mut sumsq) = (0usize, 0.0f64, 0.0f64);
     for x in xs {
@@ -127,28 +220,32 @@ pub struct GroupReport {
     pub users: usize,
     /// Tasks completed, summed over replications.
     pub tasks_completed: usize,
-    /// Latency summary pooled over users, tasks and replications.
+    /// Latency summary pooled over users, tasks and replications (exact).
     pub latency: Summary,
-    /// The pooled latencies themselves, sorted ascending (for ECDFs /
-    /// quantiles).
-    pub latencies: Vec<f64>,
+    /// Pooled sliding window of recent task latencies (replication
+    /// windows replayed in replication order) — the bounded-memory basis
+    /// for [`GroupReport::ecdf`] and [`GroupReport::quantile`].
+    pub window: StreamingEcdf,
 }
 
 impl GroupReport {
-    /// Empirical CDF of the group's task latencies (no censoring).
+    /// Empirical CDF of the group's windowed task latencies (no
+    /// censoring). `None` when the window is empty.
     pub fn ecdf(&self) -> Option<Ecdf> {
-        Ecdf::from_samples(&self.latencies, f64::INFINITY).ok()
+        self.window.snapshot().ok()
     }
 
-    /// The `p`-quantile of the group's task latencies (pooled; O(1) —
-    /// the latencies are kept sorted).
+    /// The `p`-quantile of the group's windowed task latencies (`NaN`
+    /// when the window is empty). Exact over the window, an approximation
+    /// of the full-run quantile when the run outgrew the window.
     pub fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
-        if self.latencies.is_empty() {
+        let Ok(snap) = self.window.snapshot() else {
             return f64::NAN;
-        }
-        let idx = ((self.latencies.len() as f64 - 1.0) * p).round() as usize;
-        self.latencies[idx]
+        };
+        let body = snap.body();
+        let idx = ((body.len() as f64 - 1.0) * p).round() as usize;
+        body[idx]
     }
 }
 
@@ -196,48 +293,45 @@ impl FleetCellOutcome {
         reps: &[FleetRun],
     ) -> Self {
         assert!(!reps.is_empty(), "cannot aggregate zero replications");
-        let n_groups = reps[0].users.iter().map(|u| u.group + 1).max().unwrap_or(0);
+        let n_groups = reps.iter().map(|r| r.groups.len()).max().unwrap_or(0);
         let mut groups: Vec<GroupReport> = Vec::with_capacity(n_groups);
         for g in 0..n_groups {
-            let mut latency = Summary::new();
-            let mut latencies = Vec::new();
-            let mut tasks_completed = 0usize;
-            let mut members = 0usize;
-            let mut strategy = None;
-            for (r, rep) in reps.iter().enumerate() {
-                for u in rep.users.iter().filter(|u| u.group == g) {
-                    if r == 0 {
-                        members += 1;
+            let mut pooled: Option<GroupReport> = None;
+            for rep in reps {
+                let Some(stream) = rep.groups.get(g).and_then(Option::as_ref) else {
+                    continue;
+                };
+                match &mut pooled {
+                    // apportionment can leave a group with zero users at
+                    // small community sizes (e.g. weights [0.5, 0.2, 0.3]
+                    // over 2 users); such groups stay `None` and simply
+                    // have nothing to report
+                    None => {
+                        pooled = Some(GroupReport {
+                            group: stream.group,
+                            strategy: stream.strategy,
+                            users: stream.members,
+                            tasks_completed: 0, // filled below from the pooled count
+                            latency: stream.latency,
+                            window: stream.window.clone(),
+                        })
                     }
-                    strategy.get_or_insert(u.strategy);
-                    tasks_completed += u.tasks_done;
-                    for &l in &u.latencies {
-                        latency.push(l);
-                        latencies.push(l);
+                    Some(p) => {
+                        p.latency.merge(&stream.latency);
+                        p.window.absorb(&stream.window);
                     }
                 }
             }
-            // apportionment can leave a group with zero users at small
-            // community sizes (e.g. weights [0.5, 0.2, 0.3] over 2 users);
-            // such groups simply have nothing to report
-            let Some(strategy) = strategy else { continue };
-            latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-            groups.push(GroupReport {
-                group: g,
-                strategy,
-                users: members,
-                tasks_completed,
-                latency,
-                latencies,
-            });
+            if let Some(mut p) = pooled {
+                p.tasks_completed = p.latency.count() as usize;
+                groups.push(p);
+            }
         }
         let mean = |f: fn(&FleetRun) -> f64| reps.iter().map(f).sum::<f64>() / reps.len() as f64;
         let mut pooled = Summary::new();
         for rep in reps {
             for u in &rep.users {
-                for &l in &u.latencies {
-                    pooled.push(l);
-                }
+                pooled.merge(&u.latency);
             }
         }
         FleetCellOutcome {
@@ -263,17 +357,32 @@ impl FleetCellOutcome {
 mod tests {
     use super::*;
 
-    fn run_with(latencies: Vec<Vec<f64>>) -> FleetRun {
+    /// Builds the run a fleet controller would collect from the given
+    /// per-user `(group, latencies)` outcomes.
+    fn run_from(users: Vec<(usize, Vec<f64>)>) -> FleetRun {
+        let strategy = StrategyParams::Single { t_inf: 700.0 };
+        let n_groups = users.iter().map(|(g, _)| g + 1).max().unwrap_or(0);
+        let mut groups: Vec<Option<GroupStream>> = vec![None; n_groups];
+        let mut outcomes = Vec::with_capacity(users.len());
+        for (g, latencies) in users {
+            groups
+                .get_mut(g)
+                .unwrap()
+                .get_or_insert_with(|| GroupStream::new(g, strategy, 0, 64))
+                .members += 1;
+            outcomes.push(UserOutcome {
+                group: g,
+                strategy,
+                tasks_done: latencies.len(),
+                latency: Summary::from_slice(&latencies),
+            });
+            for l in latencies {
+                groups[g].as_mut().unwrap().observe(l);
+            }
+        }
         FleetRun {
-            users: latencies
-                .into_iter()
-                .map(|l| UserOutcome {
-                    group: 0,
-                    strategy: StrategyParams::Single { t_inf: 700.0 },
-                    tasks_done: l.len(),
-                    latencies: l,
-                })
-                .collect(),
+            users: outcomes,
+            groups,
             tasks_per_user: 2,
             makespan_s: 1000.0,
             client_submitted: 10,
@@ -285,6 +394,10 @@ mod tests {
         }
     }
 
+    fn run_with(latencies: Vec<Vec<f64>>) -> FleetRun {
+        run_from(latencies.into_iter().map(|l| (0, l)).collect())
+    }
+
     #[test]
     fn jain_index_known_values() {
         assert!((jain_index([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
@@ -294,6 +407,21 @@ mod tests {
         assert!((jain_index([1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
         assert_eq!(jain_index([5.0]), 1.0);
         assert_eq!(jain_index([]), 1.0);
+    }
+
+    #[test]
+    fn jain_index_all_zero_is_perfectly_fair_by_convention() {
+        // x ≡ 0 is the limit of the all-equal allocation, NOT a "no
+        // signal" sentinel — pinned so the documented semantics cannot
+        // silently drift (callers filter unmeasured users beforehand)
+        assert_eq!(jain_index([0.0, 0.0]), 1.0);
+        assert_eq!(jain_index([0.0, 0.0, 0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_index_propagates_non_finite_inputs() {
+        assert!(jain_index([1.0, f64::NAN]).is_nan());
+        assert!(jain_index([f64::INFINITY, 1.0]).is_nan());
     }
 
     #[test]
@@ -309,6 +437,21 @@ mod tests {
     }
 
     #[test]
+    fn wasted_starts_saturates_on_truncated_runs() {
+        // regression: a truncated record (partial shard merge / mid-run
+        // cut) can report more completed tasks than counted starts; the
+        // old `client_started - tasks_completed` underflowed (panic in
+        // debug, u64 wrap in release). It must read as zero waste.
+        let mut r = run_with(vec![vec![100.0; 5], vec![150.0; 5]]);
+        assert_eq!(r.tasks_completed(), 10);
+        r.client_started = 6; // starts from the shards that did report
+        assert_eq!(r.wasted_starts(), 0);
+        // and the aggregate built on top must not panic either
+        let cell = FleetCellOutcome::aggregate("m", 2, "baseline", &[r]);
+        assert_eq!(cell.wasted_starts, 0);
+    }
+
+    #[test]
     fn fairness_excludes_empty_users() {
         let r = run_with(vec![vec![100.0], vec![]]);
         assert_eq!(
@@ -319,11 +462,25 @@ mod tests {
     }
 
     #[test]
+    fn fairness_guards_against_non_finite_means() {
+        // a user whose summary was poisoned (e.g. an infinite latency)
+        // must not drag the whole index to NaN
+        let mut r = run_with(vec![vec![100.0], vec![200.0]]);
+        r.users.push(UserOutcome {
+            group: 0,
+            strategy: StrategyParams::Single { t_inf: 700.0 },
+            tasks_done: 1,
+            latency: Summary::from_slice(&[f64::INFINITY]),
+        });
+        let want = jain_index([100.0, 200.0]);
+        assert_eq!(r.fairness().to_bits(), want.to_bits());
+    }
+
+    #[test]
     fn aggregate_skips_empty_middle_groups() {
         // apportionment can produce counts like [1, 0, 1]: group 1 has no
         // members and must be skipped, not panicked over
-        let mut r = run_with(vec![vec![100.0], vec![200.0]]);
-        r.users[1].group = 2;
+        let r = run_from(vec![(0, vec![100.0]), (2, vec![200.0])]);
         let cell = FleetCellOutcome::aggregate("m", 2, "baseline", &[r]);
         assert_eq!(cell.groups.len(), 2);
         assert_eq!(cell.groups[0].group, 0);
@@ -348,5 +505,28 @@ mod tests {
         let e = cell.groups[0].ecdf().expect("non-empty group");
         assert_eq!(e.n_total(), 4);
         assert!((cell.groups[0].quantile(1.0) - 400.0).abs() < 1e-12);
+        assert!((cell.groups[0].quantile(0.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_stream_merge_is_exact_for_moments() {
+        let strategy = StrategyParams::Single { t_inf: 700.0 };
+        let mut a = GroupStream::new(0, strategy, 2, 8);
+        let mut b = GroupStream::new(0, strategy, 3, 8);
+        for l in [100.0, 200.0] {
+            a.observe(l);
+        }
+        for l in [300.0, 400.0, 500.0] {
+            b.observe(l);
+        }
+        a.merge(&b);
+        assert_eq!(a.members, 5);
+        let full = Summary::from_slice(&[100.0, 200.0, 300.0, 400.0, 500.0]);
+        assert_eq!(a.latency.count(), full.count());
+        assert!((a.latency.mean() - full.mean()).abs() < 1e-9);
+        assert_eq!(
+            a.window.snapshot().unwrap().body(),
+            &[100.0, 200.0, 300.0, 400.0, 500.0]
+        );
     }
 }

@@ -9,7 +9,44 @@ use gridstrat_sim::{GridConfig, SiteConfig};
 
 /// Maximum community size one fleet engine supports (bounded by the
 /// 16-bit user field of the scope encoding in [`crate::controller`]).
+/// Larger communities are partitioned across engine shards — see
+/// [`crate::ShardedFleet`].
 pub const MAX_USERS: usize = 60_000;
+
+/// Largest-remainder apportionment of `total` indivisible seats across
+/// non-negative `weights` (which need not be normalised but must have a
+/// positive, finite sum). Deterministic: remainder ties are broken by
+/// index, so the same weights always yield the same counts. Used both for
+/// strategy-mix population counts ([`StrategyMix::counts`]) and for
+/// splitting a farm's worker slots across engine shards
+/// ([`crate::ShardedFleet`]).
+pub fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(
+        !weights.is_empty(),
+        "apportionment needs at least one seat-holder"
+    );
+    let wsum: f64 = weights.iter().sum();
+    assert!(
+        wsum.is_finite() && wsum > 0.0 && weights.iter().all(|w| *w >= 0.0),
+        "apportionment weights must be non-negative with a positive sum"
+    );
+    let quotas: Vec<f64> = weights.iter().map(|w| total as f64 * w / wsum).collect();
+    let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    // hand the remaining seats to the largest fractional remainders
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = quotas[a] - quotas[a].floor();
+        let rb = quotas[b] - quotas[b].floor();
+        rb.partial_cmp(&ra)
+            .expect("finite remainders")
+            .then(a.cmp(&b))
+    });
+    for &g in order.iter().take(total - assigned) {
+        counts[g] += 1;
+    }
+    counts
+}
 
 /// One component of a [`StrategyMix`]: a strategy instance and the
 /// fraction of the community playing it.
@@ -103,30 +140,11 @@ impl StrategyMix {
     }
 
     /// Number of users of each group in a community of `users`, by
-    /// largest-remainder apportionment (deterministic; ties broken by
+    /// largest-remainder [`apportion`]ment (deterministic; ties broken by
     /// group index, so the same mix always yields the same counts).
     pub fn counts(&self, users: usize) -> Vec<usize> {
-        let total: f64 = self.groups.iter().map(|g| g.weight).sum();
-        let quotas: Vec<f64> = self
-            .groups
-            .iter()
-            .map(|g| users as f64 * g.weight / total)
-            .collect();
-        let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
-        let assigned: usize = counts.iter().sum();
-        // hand the remaining seats to the largest fractional remainders
-        let mut order: Vec<usize> = (0..self.groups.len()).collect();
-        order.sort_by(|&a, &b| {
-            let ra = quotas[a] - quotas[a].floor();
-            let rb = quotas[b] - quotas[b].floor();
-            rb.partial_cmp(&ra)
-                .expect("finite remainders")
-                .then(a.cmp(&b))
-        });
-        for &g in order.iter().take(users - assigned) {
-            counts[g] += 1;
-        }
-        counts
+        let weights: Vec<f64> = self.groups.iter().map(|g| g.weight).collect();
+        apportion(users, &weights)
     }
 
     /// Expands the mix into one [`Assignment`] per user (group-major
@@ -167,6 +185,11 @@ pub struct FleetConfig {
     pub replications: usize,
     /// Master seed of the whole experiment.
     pub seed: u64,
+    /// Sliding-window capacity of the per-group streaming latency metrics
+    /// (most recent task latencies kept for ECDFs and quantiles). Bounds
+    /// metric memory at `O(groups × group_window)` regardless of how many
+    /// tasks the community completes.
+    pub group_window: usize,
 }
 
 impl FleetConfig {
@@ -192,6 +215,7 @@ impl FleetConfig {
             arrival: ArrivalProcess::BackToBack,
             replications: 3,
             seed: 0xF1EE7,
+            group_window: 4096,
         }
     }
 
@@ -213,6 +237,9 @@ impl FleetConfig {
         if self.replications == 0 {
             return Err("at least one replication is required".into());
         }
+        if self.group_window == 0 {
+            return Err("group metric window must hold at least one latency".into());
+        }
         self.arrival.validate()
     }
 }
@@ -223,6 +250,20 @@ mod tests {
 
     fn s(t_inf: f64) -> StrategyParams {
         StrategyParams::Single { t_inf }
+    }
+
+    #[test]
+    fn apportion_is_exact_and_deterministic() {
+        // the shard-slot path: equal weights split a farm evenly, with
+        // earlier shards taking the remainder seats
+        assert_eq!(apportion(30, &[1.0, 1.0, 1.0]), vec![10, 10, 10]);
+        assert_eq!(apportion(31, &[1.0, 1.0, 1.0]), vec![11, 10, 10]);
+        assert_eq!(apportion(2, &[0.5, 0.2, 0.3]), vec![1, 0, 1]);
+        for total in [0usize, 1, 7, 100, 4001] {
+            let c = apportion(total, &[3.0, 1.0, 2.5, 0.0]);
+            assert_eq!(c.iter().sum::<usize>(), total, "total {total}");
+            assert_eq!(c[3], 0, "zero weight never seats anyone");
+        }
     }
 
     #[test]

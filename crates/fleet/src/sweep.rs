@@ -43,6 +43,7 @@ impl FleetWorker {
                 cfg.task_exec_s,
                 cfg.arrival,
                 derive_seed(rep_seed, FLEET_STREAM),
+                cfg.group_window,
             ),
         }
     }
@@ -216,6 +217,7 @@ pub(crate) fn run_population(
         config.task_exec_s,
         config.arrival,
         derive_seed(rep_seed, FLEET_STREAM),
+        config.group_window,
     );
     sim.run_controller(&mut fleet);
     fleet.collect(&sim)

@@ -310,6 +310,28 @@ impl GridSimulation {
         }
     }
 
+    /// Pre-reserves capacity for `jobs` additional job records (job and
+    /// execution-time tables) and `events` additional queued events, so a
+    /// controller that knows its workload up front (a community fleet)
+    /// never grows those structures on the hot path. Purely an allocator
+    /// hint: the simulated history is unaffected.
+    pub fn reserve(&mut self, jobs: usize, events: usize) {
+        self.jobs.reserve(jobs);
+        self.exec_times.reserve(jobs);
+        self.queue.reserve(events);
+    }
+
+    /// Schedules a synthetic background job to arrive at absolute instant
+    /// `at` (which must not be in the past) holding a slot for `exec` once
+    /// started. The target site is drawn at arrival time from the site
+    /// weights, exactly like configured background traffic. This is the
+    /// cross-shard coupling hook: a sharding layer injects the load the
+    /// rest of the community would have imposed on this partition.
+    pub fn inject_background(&mut self, at: SimTime, exec: SimDuration) {
+        assert!(at >= self.now, "cannot inject background work in the past");
+        self.queue.schedule(at, EventKind::InjectedArrival { exec });
+    }
+
     /// Arms a timer; a [`Notification::Timer`] fires after `delay`.
     ///
     /// With scope `0` the notification carries `token` verbatim. Under an
@@ -332,16 +354,36 @@ impl GridSimulation {
     /// Runs the event loop, surfacing notifications to `ctrl`, until the
     /// controller reports done, the queue drains, or the horizon passes.
     pub fn run_controller<C: Controller + ?Sized>(&mut self, ctrl: &mut C) {
+        self.start_controller(ctrl);
+        self.step_controller_until(ctrl, SimTime::MAX);
+    }
+
+    /// Invokes the controller's `start` hook and drains the notifications
+    /// it produced — the first half of [`GridSimulation::run_controller`],
+    /// split out so a coupling layer (e.g. a sharded fleet) can step the
+    /// run in epochs via [`GridSimulation::step_controller_until`].
+    pub fn start_controller<C: Controller + ?Sized>(&mut self, ctrl: &mut C) {
         ctrl.start(self);
         self.drain_notifications(ctrl);
-        let horizon = SimTime::ZERO.after(self.cfg.horizon);
+    }
+
+    /// Processes events whose fire time is at or before `until` (still
+    /// bounded by the configured horizon), stopping early when the
+    /// controller reports done or the queue drains. Events beyond the cap
+    /// stay queued, so repeated calls with increasing `until` replay
+    /// exactly the history one uninterrupted
+    /// [`GridSimulation::run_controller`] would produce — pausing consumes
+    /// no randomness and moves no state.
+    pub fn step_controller_until<C: Controller + ?Sized>(&mut self, ctrl: &mut C, until: SimTime) {
+        let cap = until.min(SimTime::ZERO.after(self.cfg.horizon));
         while !ctrl.done() {
-            let Some((t, kind)) = self.queue.pop() else {
+            let Some(t) = self.queue.peek_time() else {
                 break;
             };
-            if t > horizon {
+            if t > cap {
                 break;
             }
+            let (t, kind) = self.queue.pop().expect("peeked event vanished");
             debug_assert!(t >= self.now, "event queue yielded a past event");
             self.now = t;
             self.handle(kind);
@@ -465,6 +507,7 @@ impl GridSimulation {
             EventKind::Fail(id) => self.on_fail(id),
             EventKind::CancelApply(id) => self.apply_cancel(id),
             EventKind::BackgroundArrival { site } => self.on_background_arrival(site),
+            EventKind::InjectedArrival { exec } => self.on_injected_arrival(exec),
             EventKind::Timer { token } => {
                 self.notifications.push_back(Notification::Timer {
                     token,
@@ -661,17 +704,29 @@ impl GridSimulation {
             .expect("validated background config");
         let z = sample_standard_normal(&mut self.rng);
         let exec = (ln.mu() + ln.sigma() * z).exp();
+        self.enqueue_background(site, SimDuration::from_secs(exec));
+        self.schedule_next_background_arrival();
+    }
 
+    fn on_injected_arrival(&mut self, exec: SimDuration) {
+        if self.cfg.sites.is_empty() {
+            return; // no topology to land on
+        }
+        let site = self.pick_background_site();
+        self.enqueue_background(site, exec);
+    }
+
+    /// Inserts a background-origin job straight into a site's batch queue.
+    fn enqueue_background(&mut self, site: usize, exec: SimDuration) {
         let id = JobId(self.jobs.len() as u64);
         let mut rec = JobRecord::new(id, JobOrigin::Background, self.now);
         rec.state = JobState::Queued;
         rec.site = Some(site);
         self.jobs.push(rec);
-        self.exec_times.push(SimDuration::from_secs(exec));
+        self.exec_times.push(exec);
         self.stats.background_submitted += 1;
         self.sites[site].queue.push_back(id);
         self.try_start_jobs(site);
-        self.schedule_next_background_arrival();
     }
 }
 
@@ -1008,6 +1063,84 @@ mod tests {
             storm_mean > 2.0 * calm_mean,
             "mean {calm_mean} vs {storm_mean}"
         );
+    }
+
+    #[test]
+    fn stepped_run_matches_uninterrupted_bit_for_bit() {
+        // pausing at arbitrary epoch boundaries consumes no randomness
+        // and moves no state: stepping must replay run_controller exactly
+        let mut pipeline = GridConfig::pipeline_default();
+        pipeline.background = Some(crate::config::BackgroundLoadConfig {
+            arrival_rate_per_s: 0.05,
+            exec_mean_s: 300.0,
+            exec_cv: 1.0,
+        });
+        for cfg in [GridConfig::oracle(oracle_model(0.12)), pipeline] {
+            let mut sim = GridSimulation::new(cfg.clone(), 19).unwrap();
+            let mut ctrl = Chain::new(200);
+            sim.run_controller(&mut ctrl);
+            let (jobs, stats) = (fingerprint(&sim), sim.stats());
+
+            let mut stepped = GridSimulation::new(cfg, 19).unwrap();
+            let mut sctrl = Chain::new(200);
+            stepped.start_controller(&mut sctrl);
+            let mut t = 0.0;
+            while !sctrl.done() && stepped.queue.peek_time().is_some() {
+                t += 500.0; // uneven, mid-protocol boundaries
+                stepped.step_controller_until(&mut sctrl, SimTime::from_secs(t));
+            }
+            assert_eq!(fingerprint(&stepped), jobs, "stepped job audit diverged");
+            assert_eq!(stepped.stats(), stats, "stepped stats diverged");
+            assert_eq!(
+                sctrl
+                    .latencies
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                ctrl.latencies
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn injected_background_jobs_occupy_slots() {
+        // an injected job is indistinguishable from configured background
+        // traffic: it queues at a weighted site, holds a slot for its
+        // execution time, and delays client work behind it
+        let mut cfg = GridConfig::pipeline_default();
+        cfg.faults.p_silent_loss = 0.0;
+        cfg.faults.p_transient_failure = 0.0;
+        cfg.background = None;
+        cfg.sites = vec![crate::config::SiteConfig {
+            name: "tiny".into(),
+            slots: 1,
+            weight: 1.0,
+        }];
+        let mut sim = GridSimulation::new(cfg, 31).unwrap();
+        // occupy the lone slot from t=0 for 5 000 s, then probe
+        sim.inject_background(SimTime::ZERO, SimDuration::from_secs(5_000.0));
+        let mut ctrl = CollectStarts::new(1);
+        sim.run_controller(&mut ctrl);
+        assert_eq!(sim.stats().background_submitted, 1);
+        assert_eq!(sim.stats().background_started, 1);
+        assert_eq!(ctrl.latencies.len(), 1);
+        assert!(
+            ctrl.latencies[0] >= 5_000.0,
+            "client start should wait out the injected job, waited {}",
+            ctrl.latencies[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn inject_background_rejects_past_instants() {
+        let mut sim = GridSimulation::new(GridConfig::oracle(oracle_model(0.0)), 1).unwrap();
+        let mut ctrl = CollectStarts::new(1);
+        sim.run_controller(&mut ctrl); // advances the clock
+        sim.inject_background(SimTime::ZERO, SimDuration::from_secs(1.0));
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub enum EventKind {
         /// Index of the target site.
         site: usize,
     },
+    /// A synthetic background job injected by an external coupling layer
+    /// (e.g. cross-shard load exchange) arrives with an explicit
+    /// execution time; the target site is drawn at arrival time.
+    InjectedArrival {
+        /// Slot-hold time of the injected job.
+        exec: crate::time::SimDuration,
+    },
     /// A client timer set through the controller API expires.
     Timer {
         /// Opaque token chosen by the controller.
@@ -87,6 +94,13 @@ impl EventQueue {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.next_seq = 0;
+    }
+
+    /// Pre-reserves heap capacity for `additional` pending events, so a
+    /// large known workload (a community fleet) never grows the heap on
+    /// the hot path.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Pops the earliest event, if any.

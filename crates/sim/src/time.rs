@@ -17,6 +17,9 @@ impl SimTime {
     /// Simulation start.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The latest representable instant (events never fire after it).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Constructs from seconds, rounding to the nearest millisecond and
     /// saturating at the representable maximum.
     pub fn from_secs(s: f64) -> SimTime {

@@ -98,7 +98,8 @@ pub struct StreamingEcdf {
 
 impl StreamingEcdf {
     /// Creates an estimator; `window > 0`, `decay ∈ (0, 1]`,
-    /// `threshold > 0`.
+    /// `threshold > 0` (`+∞` disables censoring: every started
+    /// observation is body mass).
     pub fn new(window: usize, decay: f64, threshold: f64) -> Result<Self, String> {
         if window == 0 {
             return Err("window must hold at least one observation".into());
@@ -106,7 +107,7 @@ impl StreamingEcdf {
         if !(decay.is_finite() && decay > 0.0 && decay <= 1.0) {
             return Err(format!("decay must be in (0, 1], got {decay}"));
         }
-        if !(threshold.is_finite() && threshold > 0.0) {
+        if threshold.is_nan() || threshold <= 0.0 {
             return Err(format!("threshold must be positive, got {threshold}"));
         }
         Ok(StreamingEcdf {
@@ -174,6 +175,26 @@ impl StreamingEcdf {
     /// Observations currently in the window.
     pub fn len(&self) -> usize {
         self.buf.len()
+    }
+
+    /// The observations currently buffered in the window, oldest first.
+    pub fn observations(&self) -> impl Iterator<Item = Observation> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Replays every observation buffered in `other`'s window into this
+    /// estimator, oldest first, then credits `other`'s already-evicted
+    /// lifetime count — the deterministic merge used when independent
+    /// streams (e.g. engine shards) are folded into one report. The merged
+    /// window holds the union's most recent observations in replay order;
+    /// the decayed scalar summaries treat the replayed window as the most
+    /// recent history (evicted observations cannot be recovered).
+    pub fn absorb(&mut self, other: &StreamingEcdf) {
+        let evicted = other.seen - other.buf.len() as u64;
+        for obs in other.observations() {
+            self.observe(obs);
+        }
+        self.seen += evicted;
     }
 
     /// True when no observation has been ingested (or all were cleared).
@@ -268,7 +289,64 @@ mod tests {
         assert!(StreamingEcdf::new(10, 0.0, 100.0).is_err());
         assert!(StreamingEcdf::new(10, 1.1, 100.0).is_err());
         assert!(StreamingEcdf::new(10, 0.9, 0.0).is_err());
+        assert!(StreamingEcdf::new(10, 0.9, f64::NAN).is_err());
         assert!(StreamingEcdf::new(10, 1.0, 100.0).is_ok());
+        // +inf = "never censor": the uncensored-metrics configuration
+        assert!(StreamingEcdf::new(10, 1.0, f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    fn infinite_threshold_disables_censoring() {
+        let mut est = StreamingEcdf::new(8, 1.0, f64::INFINITY).unwrap();
+        for x in [50.0, 1e6, 3.0] {
+            est.observe_started(x);
+        }
+        let snap = est.snapshot().unwrap();
+        assert_eq!(snap.n_body(), 3);
+        assert_eq!(snap.body(), &[3.0, 50.0, 1e6]);
+    }
+
+    #[test]
+    fn absorb_matches_sequential_replay() {
+        let mut a = StreamingEcdf::new(16, 1.0, 1_000.0).unwrap();
+        let mut b = StreamingEcdf::new(16, 1.0, 1_000.0).unwrap();
+        for x in [10.0, 20.0] {
+            a.observe_started(x);
+        }
+        b.observe_started(30.0);
+        b.observe_censored(40.0);
+        let mut merged = a.clone();
+        merged.absorb(&b);
+        // equivalent to observing a's stream then b's stream in order
+        let mut seq = StreamingEcdf::new(16, 1.0, 1_000.0).unwrap();
+        for x in [10.0, 20.0, 30.0] {
+            seq.observe_started(x);
+        }
+        seq.observe_censored(40.0);
+        assert_eq!(merged.len(), seq.len());
+        assert_eq!(merged.seen(), seq.seen());
+        assert_eq!(
+            merged.snapshot().unwrap().body(),
+            seq.snapshot().unwrap().body()
+        );
+        assert_eq!(
+            merged.decayed_body_mean().to_bits(),
+            seq.decayed_body_mean().to_bits()
+        );
+    }
+
+    #[test]
+    fn absorb_credits_evicted_observations() {
+        let mut a = StreamingEcdf::new(2, 1.0, 1_000.0).unwrap();
+        let mut b = StreamingEcdf::new(2, 1.0, 1_000.0).unwrap();
+        for x in [1.0, 2.0, 3.0] {
+            b.observe_started(x); // one eviction: window holds [2, 3]
+        }
+        a.observe_started(9.0);
+        a.absorb(&b);
+        assert_eq!(a.seen(), 4, "lifetime count covers evicted history");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.snapshot().unwrap().body(), &[2.0, 3.0]);
     }
 
     #[test]

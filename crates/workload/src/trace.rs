@@ -55,6 +55,10 @@ pub struct TraceSet {
 pub enum TraceError {
     /// The trace contains no records.
     Empty,
+    /// The censoring threshold is invalid: it must be finite and positive.
+    /// (A NaN or non-positive threshold would otherwise reject every
+    /// record with a misleading `InvalidRecord(0)`.)
+    InvalidThreshold,
     /// A record is inconsistent (negative latency, completed latency at or
     /// above the threshold, timed-out latency below the threshold, …).
     InvalidRecord(usize),
@@ -66,6 +70,9 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::Empty => write!(f, "trace contains no records"),
+            TraceError::InvalidThreshold => {
+                write!(f, "censoring threshold must be finite and positive")
+            }
             TraceError::InvalidRecord(i) => write!(f, "record {i} is inconsistent"),
             TraceError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
         }
@@ -81,6 +88,9 @@ impl TraceSet {
         threshold_s: f64,
         records: Vec<ProbeRecord>,
     ) -> Result<Self, TraceError> {
+        if !(threshold_s.is_finite() && threshold_s > 0.0) {
+            return Err(TraceError::InvalidThreshold);
+        }
         if records.is_empty() {
             return Err(TraceError::Empty);
         }
@@ -383,6 +393,30 @@ mod tests {
             status: ProbeStatus::Completed,
         }];
         assert!(TraceSet::new("x", 100.0, bad).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_thresholds() {
+        // regression: a NaN / non-positive threshold used to fail every
+        // record comparison and surface as a misleading InvalidRecord(0)
+        let good = vec![ProbeRecord {
+            submitted_at: 0.0,
+            latency_s: 10.0,
+            status: ProbeStatus::Completed,
+        }];
+        for bad in [f64::NAN, 0.0, -100.0, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                TraceSet::new("x", bad, good.clone()).unwrap_err(),
+                TraceError::InvalidThreshold,
+                "threshold {bad}"
+            );
+        }
+        // the threshold error wins even over an empty record set
+        assert_eq!(
+            TraceSet::new("x", f64::NAN, vec![]).unwrap_err(),
+            TraceError::InvalidThreshold
+        );
+        assert!(TraceSet::new("x", 100.0, good).is_ok());
     }
 
     #[test]

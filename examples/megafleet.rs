@@ -1,0 +1,130 @@
+//! Megafleet: a 100 000-user community on a sharded simulated farm.
+//!
+//! ```text
+//! cargo run --release --example megafleet
+//! ```
+//!
+//! The paper studies one user's submission strategy on an infrastructure
+//! shared by thousands (EGEE's biomed VO); the cluster-workload literature
+//! (Medernach; Guazzone — see PAPERS.md) shows fairness and utilisation
+//! regimes only emerge at large populations. This example runs a
+//! community **three orders of magnitude** past `ecosystem.rs`'s 40
+//! users:
+//!
+//! * the population is partitioned across engine shards
+//!   ([`ShardedFleet`]), each a miniature of the community with its
+//!   proportional slice of the farm's worker slots;
+//! * shards exchange load once per simulated hour: each receives the
+//!   others' busy fraction as injected background work, so one hot
+//!   partition still costs everyone latency;
+//! * metrics are bounded-memory streams — one latency [`Summary`] per
+//!   user, one windowed ECDF per strategy group — `O(users + groups)`,
+//!   never a per-task vector (at this scale a naive `Vec<f64>` per user
+//!   would be the largest allocation in the process);
+//! * everything is deterministic: a fixed seed reproduces the run
+//!   bit-for-bit at any thread count, and `shards = 1` (at feasible
+//!   sizes) is bit-identical to the plain `FleetController`.
+
+use gridstrat::prelude::*;
+use std::time::Instant;
+
+const USERS: usize = 100_000;
+const SHARDS: usize = 8;
+const SLOTS: usize = 4_000;
+// the whole population lands at t = 0, so the back of the queue waits
+// ~USERS x exec / SLOTS = 15 000 s; timeouts must be sized for that
+// regime or the community churn-cancels forever
+const T_INF: f64 = 100_000.0;
+
+fn main() {
+    let mut cfg = FleetConfig::small_farm(SLOTS);
+    cfg.tasks_per_user = 1;
+    cfg.replications = 1;
+    cfg.seed = 0x5CA1E;
+    cfg.group_window = 8_192;
+
+    let mix = StrategyMix::new(
+        "mostly-single",
+        vec![
+            StrategyGroup::new(StrategyParams::Single { t_inf: T_INF }, 0.85),
+            StrategyGroup::new(StrategyParams::Multiple { b: 2, t_inf: T_INF }, 0.15),
+        ],
+    );
+
+    println!(
+        "community of {USERS} users ({} single / {} burst-2) x {} task on a \
+         {SLOTS}-slot farm\nsharded over {SHARDS} engines (~{} users, ~{} slots each), \
+         1 h coupling epochs\n",
+        mix.counts(USERS)[0],
+        mix.counts(USERS)[1],
+        cfg.tasks_per_user,
+        USERS / SHARDS,
+        SLOTS / SHARDS,
+    );
+
+    let sharded = ShardedFleet::new(cfg, mix, USERS, SHARDS, GridScenario::baseline());
+    let t0 = Instant::now();
+    let run = sharded.run_replication(0);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let cell = FleetCellOutcome::aggregate(
+        "mostly-single",
+        USERS,
+        "baseline",
+        std::slice::from_ref(&run),
+    );
+    println!(
+        "completed {}/{} tasks in {:.2} s wall ({:.0} tasks/s) — simulated \
+         makespan {:.0} s",
+        cell.tasks_completed,
+        cell.tasks_total,
+        wall,
+        cell.tasks_completed as f64 / wall,
+        cell.makespan_s,
+    );
+    println!(
+        "mean latency {:.0} s | fairness {:.3} | slot waste {:.1}% | \
+         utilisation {:.1}% | wasted starts {}\n",
+        cell.mean_latency,
+        cell.fairness,
+        cell.slot_waste * 100.0,
+        cell.utilization * 100.0,
+        cell.wasted_starts,
+    );
+
+    println!("per-strategy view (windowed quantiles over the last 8 192 tasks/group):");
+    for g in &cell.groups {
+        println!(
+            "  group {}: {:<38} users {:>6}  mean {:>6.0}s  p50 {:>6.0}s  p95 {:>6.0}s",
+            g.group,
+            format!("{:?}", g.strategy),
+            g.users,
+            g.latency.mean(),
+            g.quantile(0.50),
+            g.quantile(0.95),
+        );
+    }
+
+    // the sharded runs are deterministic: same seed, same history, to the
+    // bit — the property every recorded community experiment relies on
+    let again = sharded.run_replication(0);
+    assert_eq!(
+        run.mean_latency().to_bits(),
+        again.mean_latency().to_bits(),
+        "sharded megafleet must be deterministic"
+    );
+    assert_eq!(run.client_submitted, again.client_submitted);
+    assert_eq!(
+        cell.tasks_completed, cell.tasks_total,
+        "every task completes"
+    );
+
+    println!(
+        "\nreading: even with patient timeouts, the bursting 15% inflates the\n\
+         queue everyone shares — {} redundant starts burned slots that the\n\
+         single-resubmission majority was waiting for. At this scale the\n\
+         effect is structural, not noise: exactly the administrators'\n\
+         complaint the paper cites, now measurable at EGEE population sizes.",
+        cell.wasted_starts,
+    );
+}

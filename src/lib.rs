@@ -72,9 +72,10 @@ pub mod prelude {
     };
     pub use gridstrat_core::transfer::{transfer_matrix, TransferReport};
     pub use gridstrat_fleet::{
-        jain_index, run_cell, user_stream_seed, ArrivalProcess, Assignment, BestResponseSearch,
-        BestResponseStep, EquilibriumReport, FleetCellOutcome, FleetConfig, FleetController,
-        FleetRun, FleetSweep, GroupReport, StrategyGroup, StrategyMix, UserOutcome,
+        jain_index, run_cell, shard_seed, user_stream_seed, ArrivalProcess, Assignment,
+        BestResponseSearch, BestResponseStep, EquilibriumReport, FleetCellOutcome, FleetConfig,
+        FleetController, FleetRun, FleetSweep, GroupReport, GroupStream, ShardedFleet,
+        StrategyGroup, StrategyMix, UserOutcome,
     };
     pub use gridstrat_sim::{
         Controller, GridConfig, GridSimulation, JobId, JobRecord, JobState, Modulation,
